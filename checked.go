@@ -1,0 +1,82 @@
+package spray
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Checked wraps a Reducer with contract validation for debugging: Add
+// indices must be in range, each thread's Accessor must be requested at
+// most once per region, and Add after Done panics. The wrapper costs one
+// extra bounds check and one flag load per Add; use it while developing a
+// parallel loop, then drop the wrapper (the underlying strategies do not
+// pay for validation in production, matching the paper's thin-wrapper
+// design).
+func Checked[T Value](r Reducer[T], length int) Reducer[T] {
+	if length < 0 {
+		panic("spray: Checked with negative length")
+	}
+	return &checkedReducer[T]{inner: r, length: length, issued: make([]atomic.Bool, r.Threads())}
+}
+
+type checkedReducer[T Value] struct {
+	inner  Reducer[T]
+	length int
+	issued []atomic.Bool
+}
+
+type checkedAccessor[T Value] struct {
+	inner  Accessor[T]
+	parent *checkedReducer[T]
+	tid    int
+	done   bool
+}
+
+func (c *checkedReducer[T]) Private(tid int) Accessor[T] {
+	if tid < 0 || tid >= len(c.issued) {
+		panic(fmt.Sprintf("spray: Private(%d) outside team of %d", tid, len(c.issued)))
+	}
+	if !c.issued[tid].CompareAndSwap(false, true) {
+		panic(fmt.Sprintf("spray: Private(%d) requested twice in one region", tid))
+	}
+	return &checkedAccessor[T]{inner: c.inner.Private(tid), parent: c, tid: tid}
+}
+
+func (a *checkedAccessor[T]) Add(i int, v T) {
+	if a.done {
+		panic(fmt.Sprintf("spray: Add on thread %d after Done", a.tid))
+	}
+	if i < 0 || i >= a.parent.length {
+		panic(fmt.Sprintf("spray: Add(%d) outside array of length %d (thread %d)", i, a.parent.length, a.tid))
+	}
+	a.inner.Add(i, v)
+}
+
+func (a *checkedAccessor[T]) Done() {
+	if a.done {
+		panic(fmt.Sprintf("spray: Done called twice on thread %d", a.tid))
+	}
+	a.done = true
+	a.inner.Done()
+}
+
+func (c *checkedReducer[T]) reset() {
+	for i := range c.issued {
+		c.issued[i].Store(false)
+	}
+}
+
+func (c *checkedReducer[T]) Finalize() {
+	c.inner.Finalize()
+	c.reset()
+}
+
+func (c *checkedReducer[T]) FinalizeWith(t *Team) {
+	c.inner.FinalizeWith(t)
+	c.reset()
+}
+
+func (c *checkedReducer[T]) Bytes() int64     { return c.inner.Bytes() }
+func (c *checkedReducer[T]) PeakBytes() int64 { return c.inner.PeakBytes() }
+func (c *checkedReducer[T]) Name() string     { return "checked(" + c.inner.Name() + ")" }
+func (c *checkedReducer[T]) Threads() int     { return c.inner.Threads() }

@@ -1,0 +1,95 @@
+package spray
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckedPassesThroughCorrectUsage(t *testing.T) {
+	const n = 500
+	team := NewTeam(3)
+	defer team.Close()
+	out := make([]float64, n)
+	r := Checked(New(BlockCAS(64), out, team.Size()), n)
+	for region := 0; region < 2; region++ { // reset must allow reuse
+		RunReduction(team, r, 0, n, Static(),
+			func(acc Accessor[float64], from, to int) {
+				for i := from; i < to; i++ {
+					acc.Add(i, 1)
+				}
+			})
+	}
+	for i, v := range out {
+		if v != 2 {
+			t.Fatalf("out[%d]=%v", i, v)
+		}
+	}
+	if !strings.HasPrefix(r.Name(), "checked(") {
+		t.Errorf("name %q", r.Name())
+	}
+	if r.Threads() != 3 {
+		t.Errorf("threads %d", r.Threads())
+	}
+}
+
+func expectPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestCheckedCatchesMisuse(t *testing.T) {
+	const n = 100
+	out := make([]float64, n)
+
+	expectPanic(t, "out-of-range Add", func() {
+		r := Checked(New(Atomic(), out, 1), n)
+		r.Private(0).Add(n, 1)
+	})
+	expectPanic(t, "negative Add", func() {
+		r := Checked(New(Atomic(), out, 1), n)
+		r.Private(0).Add(-1, 1)
+	})
+	expectPanic(t, "double Private", func() {
+		r := Checked(New(Atomic(), out, 2), n)
+		r.Private(1)
+		r.Private(1)
+	})
+	expectPanic(t, "bad tid", func() {
+		r := Checked(New(Atomic(), out, 2), n)
+		r.Private(2)
+	})
+	expectPanic(t, "Add after Done", func() {
+		r := Checked(New(Atomic(), out, 1), n)
+		acc := r.Private(0)
+		acc.Done()
+		acc.Add(0, 1)
+	})
+	expectPanic(t, "double Done", func() {
+		r := Checked(New(Atomic(), out, 1), n)
+		acc := r.Private(0)
+		acc.Done()
+		acc.Done()
+	})
+	expectPanic(t, "negative length", func() {
+		Checked(New(Atomic(), out, 1), -1)
+	})
+}
+
+func TestCheckedMemoryPassThrough(t *testing.T) {
+	const n = 1 << 12
+	out := make([]float64, n)
+	inner := New(Dense(), out, 2)
+	r := Checked(inner, n)
+	acc := r.Private(0)
+	acc.Add(1, 1)
+	acc.Done()
+	r.Finalize()
+	if r.PeakBytes() != inner.PeakBytes() || r.PeakBytes() == 0 {
+		t.Errorf("peak %d vs inner %d", r.PeakBytes(), inner.PeakBytes())
+	}
+}

@@ -1,0 +1,43 @@
+// Command spraycmp diffs two result CSVs produced by the figure
+// harnesses (sprayconv/spraytmv/spraylulesh/sprayall -csv), in the spirit
+// of benchstat: per (series, thread-count) rows with the relative time
+// change and both memory columns. Use it to compare machines, spray
+// versions, or tuning changes.
+//
+// Usage:
+//
+//	spraycmp old/fig14.csv new/fig14.csv
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"spray/internal/bench"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: spraycmp <old.csv> <new.csv>")
+		os.Exit(2)
+	}
+	oldRes := load(os.Args[1])
+	newRes := load(os.Args[2])
+	fmt.Printf("comparing %s -> %s\n", os.Args[1], os.Args[2])
+	bench.WriteComparison(os.Stdout, bench.Compare(oldRes, newRes))
+}
+
+func load(path string) *bench.Result {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spraycmp:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	res, err := bench.ReadCSV(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spraycmp: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return res
+}

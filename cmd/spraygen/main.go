@@ -1,0 +1,72 @@
+// Command spraygen generates the synthetic sparse matrices used by the
+// transpose-matrix-vector experiment and exports them as Matrix Market
+// files, so runs can be repeated on identical inputs or compared against
+// the real s3dkt3m2/debr files.
+//
+// Usage:
+//
+//	spraygen -kind s3dkt3m2 -o s3dkt3m2-like.mtx
+//	spraygen -kind banded -rows 10000 -per-row 9 -half-band 50 -o band.mtx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spray/internal/sparse"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "s3dkt3m2", "matrix kind: s3dkt3m2, debr, banded, random, graph")
+		rows     = flag.Int("rows", 10000, "rows (banded/random/graph)")
+		cols     = flag.Int("cols", 0, "cols (0 = square)")
+		perRow   = flag.Int("per-row", 9, "entries per row (banded) / average degree (graph)")
+		halfBand = flag.Int("half-band", 100, "band half-width (banded)")
+		nnz      = flag.Int("nnz", 100000, "nonzeros (random)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		out      = flag.String("o", "", "output MatrixMarket path (default stdout)")
+	)
+	flag.Parse()
+	if *cols == 0 {
+		*cols = *rows
+	}
+
+	var a *sparse.CSR[float32]
+	switch *kind {
+	case "s3dkt3m2":
+		a = sparse.S3DKT3M2Like[float32](*seed)
+	case "debr":
+		a = sparse.DebrLike[float32](*seed)
+	case "banded":
+		a = sparse.Banded[float32](*rows, *cols, *perRow, *halfBand, *seed)
+	case "random":
+		a = sparse.Random[float32](*rows, *cols, *nnz, *seed)
+	case "graph":
+		a = sparse.Graph[float32](*rows, *perRow, *seed)
+	default:
+		fatalIf(fmt.Errorf("unknown kind %q", *kind))
+	}
+	fmt.Fprintf(os.Stderr, "generated %dx%d matrix, %d nonzeros, bandwidth %d\n",
+		a.Rows, a.Cols, a.NNZ(), a.Bandwidth())
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		fatalIf(err)
+		defer f.Close()
+		w = f
+	}
+	fatalIf(sparse.WriteMatrixMarket(w, a))
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spraygen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,95 @@
+// Command spraytmv reproduces the CSR transpose-matrix-vector experiment
+// of the SPRAY paper (§VI-B): Figures 14 (s3dkt3m2) and 15 (debr), run
+// time and memory overhead for SPRAY strategies against the MKL-style
+// legacy and inspector/executor baselines.
+//
+// Usage:
+//
+//	spraytmv -matrix s3dkt3m2
+//	spraytmv -matrix debr -max-threads 8
+//	spraytmv -matrix path/to/file.mtx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spray"
+	"spray/internal/bench"
+	"spray/internal/cliutil"
+	"spray/internal/experiments"
+	"spray/internal/sparse"
+)
+
+func main() {
+	var (
+		matrix     = flag.String("matrix", "s3dkt3m2", `matrix: "s3dkt3m2", "debr", or a MatrixMarket file path`)
+		seed       = flag.Int64("seed", 1, "generator seed for the synthetic matrices")
+		maxThreads = flag.Int("max-threads", 0, "largest thread count (0 = paper's 1..56)")
+		threads    = flag.String("threads", "", "explicit comma-separated thread counts")
+		strategies = flag.String("strategies", "", "comma-separated strategy list (default: paper's set)")
+		noMKL      = flag.Bool("no-mkl", false, "skip the MKL-substitute baselines")
+		repeats    = flag.Int("repeats", 5, "samples per configuration")
+		minTime    = flag.Duration("min-time", 200*time.Millisecond, "minimum time per sample")
+		csvPath    = flag.String("csv", "", "also write results as CSV to this path")
+	)
+	flag.Parse()
+
+	var (
+		a   *sparse.CSR[float32]
+		err error
+	)
+	switch *matrix {
+	case "s3dkt3m2":
+		fmt.Fprintln(os.Stderr, "generating s3dkt3m2-like banded matrix (90449^2, ~1.9M nnz)...")
+		a = sparse.S3DKT3M2Like[float32](*seed)
+	case "debr":
+		fmt.Fprintln(os.Stderr, "generating debr-like broad-band matrix (1048576^2, ~4.1M nnz)...")
+		a = sparse.DebrLike[float32](*seed)
+	default:
+		var f *os.File
+		f, err = os.Open(*matrix)
+		fatalIf(err)
+		a, err = sparse.ReadMatrixMarket[float32](f)
+		f.Close()
+		fatalIf(err)
+	}
+
+	cfg := experiments.TMVConfig{
+		Name:       *matrix,
+		Matrix:     a,
+		Threads:    bench.ThreadCounts(*maxThreads),
+		Strategies: experiments.DefaultTMVStrategies(),
+		Runner:     bench.Runner{Repeats: *repeats, MinTime: *minTime},
+		WithMKL:    !*noMKL,
+	}
+	if *threads != "" {
+		ths, err := cliutil.ParseInts(*threads)
+		fatalIf(err)
+		cfg.Threads = ths
+	}
+	if *strategies != "" {
+		sts, err := spray.ParseStrategies(*strategies)
+		fatalIf(err)
+		cfg.Strategies = sts
+	}
+
+	res := experiments.TMV(cfg)
+	res.WriteTable(os.Stdout)
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		fatalIf(err)
+		fatalIf(res.WriteCSV(f))
+		fatalIf(f.Close())
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spraytmv:", err)
+		os.Exit(1)
+	}
+}

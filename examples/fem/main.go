@@ -1,0 +1,146 @@
+// FEM: parallel finite-element assembly — the overlapping-contribution
+// workload of the paper's Figure 1 — followed by a conjugate-gradient
+// solve of the Poisson problem −Δu = f on a cube with zero Dirichlet
+// boundary values.
+//
+// The assembly scatters each hexahedral element's 8×8 local stiffness
+// into the shared CSR value array and its load into the shared
+// right-hand side; both reductions run through a SPRAY strategy that one
+// line selects. The CG iteration itself uses only race-free gathers
+// (matrix-vector products), showing where reductions are and are not
+// needed in a real pipeline.
+//
+// Run: go run ./examples/fem
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"spray"
+	"spray/internal/fem"
+	"spray/internal/mesh"
+)
+
+const (
+	edge    = 16
+	threads = 4
+	source  = 1.0
+)
+
+func main() {
+	m := mesh.NewHex(edge, 1.0)
+	fmt.Printf("mesh: %d elements, %d nodes\n", m.NumElem, m.NumNode)
+
+	start := time.Now()
+	p := fem.NewProblem(m)
+	fmt.Printf("symbolic assembly: %v (%d nonzeros)\n", time.Since(start), p.NNZ())
+
+	team := spray.NewTeam(threads)
+	defer team.Close()
+
+	// Numeric assembly under several strategies: same matrix, one-line
+	// switch.
+	var ref []float64
+	for _, st := range []spray.Strategy{spray.BlockCAS(1024), spray.Atomic(), spray.Keeper()} {
+		start = time.Now()
+		r := p.Assemble(team, st)
+		el := time.Since(start)
+		status := "ok"
+		if ref == nil {
+			ref = append([]float64(nil), p.Pattern.Val...)
+		} else {
+			for i := range ref {
+				if math.Abs(ref[i]-p.Pattern.Val[i]) > 1e-9 {
+					status = fmt.Sprintf("MISMATCH at %d", i)
+					break
+				}
+			}
+		}
+		fmt.Printf("assemble %-16s %10v   mem %8d B   %s\n", st, el, r.PeakBytes(), status)
+	}
+
+	// Load vector via a SPRAY reduction as well.
+	rhs := make([]float64, m.NumNode)
+	p.AssembleLoad(team, spray.Keeper(), source, rhs)
+
+	// Zero Dirichlet boundary: pin every node on the cube surface.
+	boundary := make([]bool, m.NumNode)
+	en := m.EdgeNodes
+	for k := 0; k < en; k++ {
+		for j := 0; j < en; j++ {
+			for i := 0; i < en; i++ {
+				if i == 0 || j == 0 || k == 0 || i == en-1 || j == en-1 || k == en-1 {
+					boundary[k*en*en+j*en+i] = true
+				}
+			}
+		}
+	}
+	for n := range rhs {
+		if boundary[n] {
+			rhs[n] = 0
+		}
+	}
+
+	// apply computes y = K·x restricted to interior nodes.
+	apply := func(x, y []float64) {
+		p.Pattern.MulVec(x, y)
+		for n := range y {
+			if boundary[n] {
+				y[n] = 0
+			}
+		}
+	}
+
+	// Conjugate gradients.
+	u := make([]float64, m.NumNode)
+	r := append([]float64(nil), rhs...)
+	d := append([]float64(nil), rhs...)
+	q := make([]float64, m.NumNode)
+	dot := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			s += a[i] * b[i]
+		}
+		return s
+	}
+	rr := dot(r, r)
+	res0 := math.Sqrt(rr)
+	start = time.Now()
+	iters := 0
+	for ; iters < 500 && math.Sqrt(rr) > 1e-8*res0; iters++ {
+		apply(d, q)
+		alpha := rr / dot(d, q)
+		for i := range u {
+			u[i] += alpha * d[i]
+			r[i] -= alpha * q[i]
+		}
+		rrNew := dot(r, r)
+		beta := rrNew / rr
+		rr = rrNew
+		for i := range d {
+			d[i] = r[i] + beta*d[i]
+		}
+	}
+	fmt.Printf("CG: %d iterations, relative residual %.2e, %v\n",
+		iters, math.Sqrt(rr)/res0, time.Since(start))
+
+	// Physics check: the solution peaks at the cube center, is positive
+	// inside and zero on the boundary.
+	center := (en / 2) * (en*en + en + 1)
+	peak, peakAt := 0.0, -1
+	for n, v := range u {
+		if v > peak {
+			peak, peakAt = v, n
+		}
+	}
+	fmt.Printf("u(center) = %.6f, max u = %.6f at node %d (center node %d)\n",
+		u[center], peak, peakAt, center)
+	// Reference: max of −Δu = 1 on unit cube with zero BC is ≈ 0.056.
+	if math.Abs(peak-0.056) < 0.01 {
+		fmt.Println("matches the analytic Poisson peak (~0.056) — solve verified")
+	} else {
+		fmt.Println("WARNING: peak far from the analytic value 0.056")
+	}
+}

@@ -1,0 +1,3 @@
+module spray
+
+go 1.22

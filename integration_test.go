@@ -1,0 +1,144 @@
+package spray_test
+
+// End-to-end checks of the command-line harnesses: build each binary
+// once and run it with a minimal configuration, asserting on the output
+// structure. Skipped under -short (they shell out to the go tool).
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmds compiles every cmd/ binary into a temp dir once per test run.
+func buildCmds(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator), "./cmd/...")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building cmds: %v\n%s", err, out)
+	}
+	return dir
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCommandsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped under -short")
+	}
+	bins := buildCmds(t)
+	tmp := t.TempDir()
+
+	t.Run("sprayconv", func(t *testing.T) {
+		out := run(t, filepath.Join(bins, "sprayconv"),
+			"-figure", "11", "-n", "20000", "-threads", "1,2",
+			"-strategies", "atomic,keeper", "-repeats", "1", "-min-time", "5ms",
+			"-csv", filepath.Join(tmp, "f11.csv"))
+		for _, want := range []string{"Figure 11", "atomic", "keeper", "sequential baseline"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		}
+		csv, err := os.ReadFile(filepath.Join(tmp, "f11.csv"))
+		if err != nil || !strings.HasPrefix(string(csv), "series,x,mean_s") {
+			t.Errorf("csv missing or malformed: %v", err)
+		}
+	})
+
+	t.Run("sprayconv-fig13", func(t *testing.T) {
+		out := run(t, filepath.Join(bins, "sprayconv"),
+			"-figure", "13", "-n", "20000", "-threads", "2",
+			"-blocks", "64,256", "-repeats", "1", "-min-time", "5ms")
+		for _, want := range []string{"Figure 13", "block-cas-64", "block-private-256"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %q", want)
+			}
+		}
+	})
+
+	t.Run("spraygen-and-spraytmv-file", func(t *testing.T) {
+		mtx := filepath.Join(tmp, "m.mtx")
+		run(t, filepath.Join(bins, "spraygen"),
+			"-kind", "banded", "-rows", "3000", "-per-row", "5", "-half-band", "30", "-o", mtx)
+		out := run(t, filepath.Join(bins, "spraytmv"),
+			"-matrix", mtx, "-threads", "1,2", "-strategies", "atomic,block-cas-256",
+			"-repeats", "1", "-min-time", "5ms")
+		for _, want := range []string{"transpose-matrix-vector", "mkl-legacy", "mkl-ie-hint", "block-cas-256"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("spraylulesh", func(t *testing.T) {
+		out := run(t, filepath.Join(bins, "spraylulesh"),
+			"-edge", "5", "-cycles", "3", "-threads", "1,2",
+			"-schemes", "original,atomic", "-repeats", "1")
+		for _, want := range []string{"Figure 16", "lulesh-original", "spray-atomic"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("spraylulesh-verify", func(t *testing.T) {
+		out := run(t, filepath.Join(bins, "spraylulesh"),
+			"-verify", "block-cas-256", "-edge", "6", "-cycles", "5",
+			"-max-threads", "2", "-regions", "3", "-cost", "2")
+		for _, want := range []string{"Run completed", "MaxAbsDiff", "spray-block-cas-256"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("sprayadvise", func(t *testing.T) {
+		out := run(t, filepath.Join(bins, "sprayadvise"),
+			"-workload", "conv", "-n", "50000", "-threads", "4")
+		for _, want := range []string{"recommendation", "keeper", "ownership match"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("spraycmp", func(t *testing.T) {
+		csvA := filepath.Join(tmp, "a.csv")
+		csvB := filepath.Join(tmp, "b.csv")
+		for _, path := range []string{csvA, csvB} {
+			run(t, filepath.Join(bins, "sprayconv"),
+				"-figure", "11", "-n", "10000", "-threads", "1",
+				"-strategies", "atomic", "-repeats", "1", "-min-time", "2ms",
+				"-csv", path)
+		}
+		out := run(t, filepath.Join(bins, "spraycmp"), csvA, csvB)
+		for _, want := range []string{"comparing", "atomic", "delta"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("bad-flags-fail", func(t *testing.T) {
+		cmd := exec.Command(filepath.Join(bins, "sprayconv"), "-figure", "99")
+		if out, err := cmd.CombinedOutput(); err == nil {
+			t.Errorf("unknown figure accepted:\n%s", out)
+		}
+		cmd = exec.Command(filepath.Join(bins, "spraytmv"), "-matrix", "/does/not/exist.mtx")
+		if out, err := cmd.CombinedOutput(); err == nil {
+			t.Errorf("missing matrix file accepted:\n%s", out)
+		}
+	})
+}

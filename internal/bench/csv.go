@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"spray/internal/stats"
+)
+
+// ReadCSV parses a Result previously written by WriteCSV. Title, labels
+// and notes are not stored in the CSV and stay empty; the caller sets
+// them. Used by cmd/spraycmp to diff two harness runs.
+func ReadCSV(r io.Reader) (*Result, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("bench: reading CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("bench: empty CSV")
+	}
+	header := rows[0]
+	want := []string{"series", "x", "mean_s", "min_s", "max_s", "stddev_s", "bytes"}
+	if len(header) != len(want) {
+		return nil, fmt.Errorf("bench: unexpected CSV header %v", header)
+	}
+	for i, h := range want {
+		if header[i] != h {
+			return nil, fmt.Errorf("bench: CSV column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	res := &Result{}
+	for line, row := range rows[1:] {
+		if len(row) != 7 {
+			return nil, fmt.Errorf("bench: CSV line %d has %d fields", line+2, len(row))
+		}
+		fs := make([]float64, 5)
+		for i := 0; i < 5; i++ {
+			v, err := strconv.ParseFloat(row[1+i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bench: CSV line %d field %q: %w", line+2, row[1+i], err)
+			}
+			fs[i] = v
+		}
+		bytes, err := strconv.ParseInt(row[6], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bench: CSV line %d bytes %q: %w", line+2, row[6], err)
+		}
+		res.AddPoint(row[0], Point{
+			X: fs[0],
+			Time: stats.Summary{
+				N: 1, Mean: fs[1], Min: fs[2], Max: fs[3],
+				Median: fs[1], Stddev: fs[4],
+			},
+			Bytes: bytes,
+		})
+	}
+	return res, nil
+}
+
+// CompareRow is one line of a Result comparison.
+type CompareRow struct {
+	Series    string
+	X         float64
+	OldMean   float64
+	NewMean   float64
+	TimeDelta float64 // (new-old)/old, NaN-free: 0 when old == 0
+	OldBytes  int64
+	NewBytes  int64
+	OnlyInOld bool
+	OnlyInNew bool
+}
+
+// Compare matches the points of two results by (series, x) and returns
+// rows for every configuration present in either, in old's order followed
+// by new-only series.
+func Compare(oldRes, newRes *Result) []CompareRow {
+	type key struct {
+		s string
+		x float64
+	}
+	newPts := map[key]Point{}
+	newSeen := map[key]bool{}
+	for _, s := range newRes.Series {
+		for _, p := range s.Points {
+			newPts[key{s.Name, p.X}] = p
+		}
+	}
+	var rows []CompareRow
+	for _, s := range oldRes.Series {
+		for _, p := range s.Points {
+			k := key{s.Name, p.X}
+			row := CompareRow{Series: s.Name, X: p.X, OldMean: p.Time.Mean, OldBytes: p.Bytes}
+			if np, ok := newPts[k]; ok {
+				newSeen[k] = true
+				row.NewMean = np.Time.Mean
+				row.NewBytes = np.Bytes
+				if p.Time.Mean > 0 {
+					row.TimeDelta = (np.Time.Mean - p.Time.Mean) / p.Time.Mean
+				}
+			} else {
+				row.OnlyInOld = true
+			}
+			rows = append(rows, row)
+		}
+	}
+	for _, s := range newRes.Series {
+		for _, p := range s.Points {
+			if !newSeen[key{s.Name, p.X}] {
+				rows = append(rows, CompareRow{
+					Series: s.Name, X: p.X,
+					NewMean: p.Time.Mean, NewBytes: p.Bytes, OnlyInNew: true,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// WriteComparison renders comparison rows as an aligned table.
+func WriteComparison(w io.Writer, rows []CompareRow) {
+	table := [][]string{{"series", "x", "old", "new", "delta", "old-mem", "new-mem"}}
+	for _, r := range rows {
+		switch {
+		case r.OnlyInOld:
+			table = append(table, []string{r.Series, trimFloat(r.X),
+				fmtSeconds(r.OldMean), "-", "removed", FormatBytes(r.OldBytes), "-"})
+		case r.OnlyInNew:
+			table = append(table, []string{r.Series, trimFloat(r.X),
+				"-", fmtSeconds(r.NewMean), "added", "-", FormatBytes(r.NewBytes)})
+		default:
+			table = append(table, []string{r.Series, trimFloat(r.X),
+				fmtSeconds(r.OldMean), fmtSeconds(r.NewMean),
+				fmt.Sprintf("%+.1f%%", 100*r.TimeDelta),
+				FormatBytes(r.OldBytes), FormatBytes(r.NewBytes)})
+		}
+	}
+	writeAligned(w, table)
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := &Result{Title: "t", XLabel: "threads"}
+	orig.AddPoint("a", Point{X: 1, Time: mkSummary(0.5), Bytes: 100})
+	orig.AddPoint("a", Point{X: 2, Time: mkSummary(0.25), Bytes: 200})
+	orig.AddPoint("b", Point{X: 1, Time: mkSummary(1.5)})
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series) != 2 {
+		t.Fatalf("series %d", len(got.Series))
+	}
+	for si, s := range orig.Series {
+		for pi, p := range s.Points {
+			g := got.Series[si].Points[pi]
+			if g.X != p.X || g.Time.Mean != p.Time.Mean || g.Bytes != p.Bytes {
+				t.Errorf("series %s point %d: %+v vs %+v", s.Name, pi, g, p)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "foo,bar\n",
+		"wrong cols":  "series,x,mean_s,min_s,max_s,stddev_s,bytes\na,1,2\n",
+		"bad number":  "series,x,mean_s,min_s,max_s,stddev_s,bytes\na,x,1,1,1,0,0\n",
+		"bad bytes":   "series,x,mean_s,min_s,max_s,stddev_s,bytes\na,1,1,1,1,0,zz\n",
+		"bad quoting": "series,x,mean_s,min_s,max_s,stddev_s,bytes\n\"a,1,1,1,1,0,0\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	oldRes := &Result{}
+	oldRes.AddPoint("a", Point{X: 1, Time: mkSummary(1.0), Bytes: 100})
+	oldRes.AddPoint("a", Point{X: 2, Time: mkSummary(2.0), Bytes: 100})
+	oldRes.AddPoint("gone", Point{X: 1, Time: mkSummary(3.0)})
+	newRes := &Result{}
+	newRes.AddPoint("a", Point{X: 1, Time: mkSummary(0.5), Bytes: 50})
+	newRes.AddPoint("a", Point{X: 2, Time: mkSummary(3.0), Bytes: 100})
+	newRes.AddPoint("fresh", Point{X: 1, Time: mkSummary(1.0)})
+
+	rows := Compare(oldRes, newRes)
+	if len(rows) != 4 {
+		t.Fatalf("rows %d: %+v", len(rows), rows)
+	}
+	if rows[0].TimeDelta != -0.5 {
+		t.Errorf("a/1 delta %v, want -0.5", rows[0].TimeDelta)
+	}
+	if rows[1].TimeDelta != 0.5 {
+		t.Errorf("a/2 delta %v, want +0.5", rows[1].TimeDelta)
+	}
+	if !rows[2].OnlyInOld || rows[2].Series != "gone" {
+		t.Errorf("row 2: %+v", rows[2])
+	}
+	if !rows[3].OnlyInNew || rows[3].Series != "fresh" {
+		t.Errorf("row 3: %+v", rows[3])
+	}
+
+	var buf bytes.Buffer
+	WriteComparison(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"-50.0%", "+50.0%", "removed", "added", "series"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareZeroOldMean(t *testing.T) {
+	oldRes := &Result{}
+	oldRes.AddPoint("z", Point{X: 1, Time: mkSummary(0)})
+	newRes := &Result{}
+	newRes.AddPoint("z", Point{X: 1, Time: mkSummary(1)})
+	rows := Compare(oldRes, newRes)
+	if rows[0].TimeDelta != 0 {
+		t.Errorf("delta for zero baseline: %v", rows[0].TimeDelta)
+	}
+}

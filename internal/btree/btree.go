@@ -1,0 +1,280 @@
+// Package btree implements a from-scratch in-memory B-tree keyed by array
+// indices, specialized for the accumulate-into-key access pattern of the
+// paper's B-tree MapReduction variant: the only mutating operation is
+// "add v to the value stored under key k, inserting k if absent". Keys are
+// iterated in ascending order at merge time so the fix-up sweep over the
+// original array is cache-friendly.
+package btree
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// DefaultDegree is the minimum degree (t in CLRS terms) used when 0 is
+// passed to New: nodes hold between DefaultDegree-1 and 2*DefaultDegree-1
+// keys. 16 keeps nodes near a cache line pair for 4-byte keys.
+const DefaultDegree = 16
+
+// Tree is a B-tree from int32 array indices to accumulated values. The
+// zero value is not usable; call New.
+type Tree[T any] struct {
+	root   *node[T]
+	degree int
+	length int
+	bytes  int64
+}
+
+type node[T any] struct {
+	keys     []int32
+	vals     []T
+	children []*node[T] // nil iff leaf
+}
+
+// New creates an empty tree with the given minimum degree (>= 2); degree
+// <= 0 selects DefaultDegree.
+func New[T any](degree int) *Tree[T] {
+	if degree <= 0 {
+		degree = DefaultDegree
+	}
+	if degree < 2 {
+		panic(fmt.Sprintf("btree: minimum degree must be >= 2, got %d", degree))
+	}
+	return &Tree[T]{degree: degree}
+}
+
+// Len returns the number of distinct keys stored.
+func (t *Tree[T]) Len() int { return t.length }
+
+// Bytes returns an estimate of the heap memory owned by the tree's nodes,
+// used for the memory-overhead accounting of the B-tree reducer.
+func (t *Tree[T]) Bytes() int64 { return t.bytes }
+
+func (t *Tree[T]) maxKeys() int { return 2*t.degree - 1 }
+
+func (t *Tree[T]) newNode(leaf bool) *node[T] {
+	n := &node[T]{
+		keys: make([]int32, 0, t.maxKeys()),
+		vals: make([]T, 0, t.maxKeys()),
+	}
+	var v T
+	t.bytes += int64(t.maxKeys()) * (4 + int64(unsafe.Sizeof(v)))
+	if !leaf {
+		n.children = make([]*node[T], 0, t.maxKeys()+1)
+		t.bytes += int64(t.maxKeys()+1) * 8
+	}
+	return n
+}
+
+// search returns the position of key in n.keys, or the child index to
+// descend into and found=false.
+func (n *node[T]) search(key int32) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.keys) && n.keys[lo] == key
+}
+
+// Accumulate applies add to the value under key, inserting the zero value
+// first if the key is absent. add typically performs "+=". This is the
+// single operation the MapReduction reducer needs.
+func (t *Tree[T]) Accumulate(key int32, add func(*T)) {
+	if t.root == nil {
+		t.root = t.newNode(true)
+	}
+	if len(t.root.keys) == t.maxKeys() {
+		// Preemptive root split keeps the downward pass single-visit.
+		old := t.root
+		t.root = t.newNode(false)
+		t.root.children = append(t.root.children, old)
+		t.splitChild(t.root, 0)
+	}
+	t.insertNonFull(t.root, key, add)
+}
+
+// Add is Accumulate specialized to numeric addition via the caller's
+// closure-free fast path; kept as a tiny helper for tests.
+func Add[T interface{ ~float32 | ~float64 }](t *Tree[T], key int32, v T) {
+	t.Accumulate(key, func(p *T) { *p += v })
+}
+
+func (t *Tree[T]) insertNonFull(n *node[T], key int32, add func(*T)) {
+	for {
+		i, found := n.search(key)
+		if found {
+			add(&n.vals[i])
+			return
+		}
+		if n.children == nil { // leaf: insert here
+			n.keys = append(n.keys, 0)
+			n.vals = append(n.vals, *new(T))
+			copy(n.keys[i+1:], n.keys[i:])
+			copy(n.vals[i+1:], n.vals[i:])
+			n.keys[i] = key
+			var zero T
+			n.vals[i] = zero
+			add(&n.vals[i])
+			t.length++
+			return
+		}
+		child := n.children[i]
+		if len(child.keys) == t.maxKeys() {
+			t.splitChild(n, i)
+			// The median key moved up into n at position i; re-decide.
+			if key == n.keys[i] {
+				add(&n.vals[i])
+				return
+			}
+			if key > n.keys[i] {
+				child = n.children[i+1]
+			} else {
+				child = n.children[i]
+			}
+		}
+		n = child
+	}
+}
+
+// splitChild splits the full child at index i of parent p, moving the
+// median key up into p.
+func (t *Tree[T]) splitChild(p *node[T], i int) {
+	child := p.children[i]
+	mid := t.degree - 1
+	right := t.newNode(child.children == nil)
+	right.keys = append(right.keys, child.keys[mid+1:]...)
+	right.vals = append(right.vals, child.vals[mid+1:]...)
+	if child.children != nil {
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	medKey, medVal := child.keys[mid], child.vals[mid]
+	child.keys = child.keys[:mid]
+	child.vals = child.vals[:mid]
+
+	p.keys = append(p.keys, 0)
+	p.vals = append(p.vals, *new(T))
+	copy(p.keys[i+1:], p.keys[i:])
+	copy(p.vals[i+1:], p.vals[i:])
+	p.keys[i] = medKey
+	p.vals[i] = medVal
+	p.children = append(p.children, nil)
+	copy(p.children[i+2:], p.children[i+1:])
+	p.children[i+1] = right
+}
+
+// Get returns the value stored under key and whether it is present.
+func (t *Tree[T]) Get(key int32) (T, bool) {
+	n := t.root
+	for n != nil {
+		i, found := n.search(key)
+		if found {
+			return n.vals[i], true
+		}
+		if n.children == nil {
+			break
+		}
+		n = n.children[i]
+	}
+	var zero T
+	return zero, false
+}
+
+// Each visits all key/value pairs in ascending key order.
+func (t *Tree[T]) Each(visit func(key int32, val T)) {
+	t.root.each(visit)
+}
+
+func (n *node[T]) each(visit func(int32, T)) {
+	if n == nil {
+		return
+	}
+	for i, k := range n.keys {
+		if n.children != nil {
+			n.children[i].each(visit)
+		}
+		visit(k, n.vals[i])
+	}
+	if n.children != nil {
+		n.children[len(n.keys)].each(visit)
+	}
+}
+
+// Reset drops all entries but keeps the tree usable.
+func (t *Tree[T]) Reset() {
+	t.root = nil
+	t.length = 0
+	t.bytes = 0
+}
+
+// CheckInvariants validates the B-tree structural invariants (key order,
+// node fill bounds, uniform leaf depth) and returns a descriptive error on
+// the first violation. Used by the property-based tests.
+func (t *Tree[T]) CheckInvariants() error {
+	if t.root == nil {
+		if t.length != 0 {
+			return fmt.Errorf("btree: nil root but length %d", t.length)
+		}
+		return nil
+	}
+	depth := -1
+	count := 0
+	var walk func(n *node[T], lo, hi int64, level int, isRoot bool) error
+	walk = func(n *node[T], lo, hi int64, level int, isRoot bool) error {
+		if len(n.keys) > t.maxKeys() {
+			return fmt.Errorf("btree: node with %d keys exceeds max %d", len(n.keys), t.maxKeys())
+		}
+		if !isRoot && len(n.keys) < t.degree-1 {
+			return fmt.Errorf("btree: non-root node with %d keys below min %d", len(n.keys), t.degree-1)
+		}
+		if len(n.keys) != len(n.vals) {
+			return fmt.Errorf("btree: keys/vals length mismatch %d/%d", len(n.keys), len(n.vals))
+		}
+		for i, k := range n.keys {
+			if int64(k) <= lo || int64(k) >= hi {
+				return fmt.Errorf("btree: key %d outside (%d,%d)", k, lo, hi)
+			}
+			if i > 0 && n.keys[i-1] >= k {
+				return fmt.Errorf("btree: keys not strictly ascending: %d >= %d", n.keys[i-1], k)
+			}
+		}
+		count += len(n.keys)
+		if n.children == nil {
+			if depth == -1 {
+				depth = level
+			} else if depth != level {
+				return fmt.Errorf("btree: leaves at depths %d and %d", depth, level)
+			}
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return fmt.Errorf("btree: %d children for %d keys", len(n.children), len(n.keys))
+		}
+		childLo := lo
+		for i, c := range n.children {
+			childHi := hi
+			if i < len(n.keys) {
+				childHi = int64(n.keys[i])
+			}
+			if err := walk(c, childLo, childHi, level+1, false); err != nil {
+				return err
+			}
+			if i < len(n.keys) {
+				childLo = int64(n.keys[i])
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, -1<<40, 1<<40, 0, true); err != nil {
+		return err
+	}
+	if count != t.length {
+		return fmt.Errorf("btree: counted %d keys, length says %d", count, t.length)
+	}
+	return nil
+}

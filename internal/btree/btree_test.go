@@ -1,0 +1,238 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New[float64](0)
+	if tr.Len() != 0 {
+		t.Errorf("Len=%d", tr.Len())
+	}
+	if _, ok := tr.Get(5); ok {
+		t.Error("Get on empty tree found a key")
+	}
+	tr.Each(func(int32, float64) { t.Error("Each visited on empty tree") })
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPanicsOnDegreeOne(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(1) did not panic")
+		}
+	}()
+	New[float64](1)
+}
+
+func TestAccumulateInsertAndAdd(t *testing.T) {
+	tr := New[float64](2)
+	Add(tr, 7, 1.5)
+	Add(tr, 7, 2.5)
+	Add(tr, 3, 1)
+	if tr.Len() != 2 {
+		t.Errorf("Len=%d, want 2", tr.Len())
+	}
+	if v, ok := tr.Get(7); !ok || v != 4 {
+		t.Errorf("Get(7)=%v,%v", v, ok)
+	}
+	if v, ok := tr.Get(3); !ok || v != 1 {
+		t.Errorf("Get(3)=%v,%v", v, ok)
+	}
+	if _, ok := tr.Get(5); ok {
+		t.Error("Get(5) found phantom key")
+	}
+}
+
+// fill inserts n random keys (with duplicates) and returns the reference
+// accumulation.
+func fill(tr *Tree[float64], rng *rand.Rand, n, keyRange int) map[int32]float64 {
+	ref := map[int32]float64{}
+	for i := 0; i < n; i++ {
+		k := int32(rng.Intn(keyRange))
+		v := rng.Float64()*2 - 1
+		Add(tr, k, v)
+		ref[k] += v
+	}
+	return ref
+}
+
+func TestAgainstMapReference(t *testing.T) {
+	for _, degree := range []int{2, 3, 8, 16, 64} {
+		rng := rand.New(rand.NewSource(int64(degree)))
+		tr := New[float64](degree)
+		ref := fill(tr, rng, 5000, 800)
+		if tr.Len() != len(ref) {
+			t.Fatalf("degree %d: Len=%d, want %d", degree, tr.Len(), len(ref))
+		}
+		for k, want := range ref {
+			if got, ok := tr.Get(k); !ok || got != want {
+				t.Fatalf("degree %d: Get(%d)=%v,%v want %v", degree, k, got, ok, want)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("degree %d: %v", degree, err)
+		}
+	}
+}
+
+func TestEachAscendingAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := New[float64](3)
+	ref := fill(tr, rng, 3000, 500)
+	var keys []int32
+	sum := 0.0
+	tr.Each(func(k int32, v float64) {
+		keys = append(keys, k)
+		sum += v
+		if v != ref[k] {
+			t.Errorf("Each(%d)=%v, want %v", k, v, ref[k])
+		}
+	})
+	if len(keys) != len(ref) {
+		t.Fatalf("Each visited %d keys, want %d", len(keys), len(ref))
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Error("Each keys not ascending")
+	}
+}
+
+func TestInvariantsPropertyRandomWorkloads(t *testing.T) {
+	f := func(seed int64, nRaw uint16, degRaw uint8) bool {
+		degree := int(degRaw)%30 + 2
+		n := int(nRaw) % 2000
+		rng := rand.New(rand.NewSource(seed))
+		tr := New[float64](degree)
+		ref := fill(tr, rng, n, 300)
+		if tr.CheckInvariants() != nil || tr.Len() != len(ref) {
+			return false
+		}
+		// spot-check a few keys
+		for k := int32(0); k < 300; k += 17 {
+			want, inRef := ref[k]
+			got, inTree := tr.Get(k)
+			if inRef != inTree || (inRef && got != want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonotonicInsertTriggersRightmostSplits(t *testing.T) {
+	tr := New[float64](2)
+	for i := int32(0); i < 1000; i++ {
+		Add(tr, i, float64(i))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	prev := int32(-1)
+	tr.Each(func(k int32, v float64) {
+		if k != prev+1 || v != float64(k) {
+			t.Fatalf("Each out of order at %d (prev %d, v %v)", k, prev, v)
+		}
+		prev = k
+	})
+}
+
+func TestDescendingInsert(t *testing.T) {
+	tr := New[float64](2)
+	for i := int32(999); i >= 0; i-- {
+		Add(tr, i, 1)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1000 {
+		t.Errorf("Len=%d", tr.Len())
+	}
+}
+
+func TestKeyEqualsMedianAfterSplit(t *testing.T) {
+	// Regression guard for the root-split path where the searched key
+	// equals the key moved up into the parent.
+	tr := New[float64](2) // max 3 keys per node: splits happen early
+	for _, k := range []int32{10, 20, 30, 40, 50, 20, 40, 10, 30} {
+		Add(tr, k, 1)
+	}
+	for _, k := range []int32{10, 30} {
+		if v, _ := tr.Get(k); v != 2 {
+			t.Errorf("Get(%d)=%v, want 2", k, v)
+		}
+	}
+	if v, _ := tr.Get(20); v != 2 {
+		t.Errorf("Get(20)=%v, want 2", v)
+	}
+}
+
+func TestResetAndBytes(t *testing.T) {
+	tr := New[float64](4)
+	if tr.Bytes() != 0 {
+		t.Errorf("fresh tree Bytes=%d", tr.Bytes())
+	}
+	for i := int32(0); i < 500; i++ {
+		Add(tr, i, 1)
+	}
+	if tr.Bytes() <= 0 {
+		t.Error("Bytes did not grow")
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Bytes() != 0 {
+		t.Errorf("after Reset: Len=%d Bytes=%d", tr.Len(), tr.Bytes())
+	}
+	Add(tr, 5, 2) // usable after reset
+	if v, ok := tr.Get(5); !ok || v != 2 {
+		t.Errorf("after reset Get(5)=%v,%v", v, ok)
+	}
+}
+
+func TestNegativeKeys(t *testing.T) {
+	tr := New[float64](3)
+	for _, k := range []int32{-5, 3, -100, 0, 7, -5} {
+		Add(tr, k, 1)
+	}
+	if v, _ := tr.Get(-5); v != 2 {
+		t.Errorf("Get(-5)=%v", v)
+	}
+	var prev int32 = -1 << 30
+	tr.Each(func(k int32, _ float64) {
+		if k <= prev {
+			t.Errorf("order violated: %d after %d", k, prev)
+		}
+		prev = k
+	})
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat32Tree(t *testing.T) {
+	tr := New[float32](4)
+	Add(tr, 1, 0.5)
+	Add(tr, 1, 0.25)
+	if v, _ := tr.Get(1); v != 0.75 {
+		t.Errorf("float32 Get=%v", v)
+	}
+}
+
+func BenchmarkAccumulateRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]int32, 1<<14)
+	for i := range keys {
+		keys[i] = int32(rng.Intn(1 << 16))
+	}
+	b.ResetTimer()
+	tr := New[float64](16)
+	for i := 0; i < b.N; i++ {
+		Add(tr, keys[i&(len(keys)-1)], 1.0)
+	}
+}

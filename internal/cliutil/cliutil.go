@@ -1,0 +1,41 @@
+// Package cliutil holds the small flag-parsing helpers shared by the
+// cmd/ harnesses.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseInts parses a comma-separated list of positive integers
+// ("1,2, 4").
+func ParseInts(list string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(list, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("cliutil: bad positive integer %q", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cliutil: empty integer list")
+	}
+	return out, nil
+}
+
+// ParseNames splits a comma-separated list of non-empty names.
+func ParseNames(list string) []string {
+	var out []string
+	for _, f := range strings.Split(list, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+package cliutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts("1,2, 4 ,,56")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{1, 2, 4, 56}) {
+		t.Errorf("got %v", got)
+	}
+	for _, bad := range []string{"", ",,", "1,x", "0", "-3", "1,2,-1"} {
+		if _, err := ParseInts(bad); err == nil {
+			t.Errorf("ParseInts(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseNames(t *testing.T) {
+	got := ParseNames(" a, b,,c ")
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("got %v", got)
+	}
+	if got := ParseNames(" , "); got != nil {
+		t.Errorf("empty list: %v", got)
+	}
+}

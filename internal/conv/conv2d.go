@@ -1,0 +1,95 @@
+package conv
+
+import (
+	"fmt"
+
+	"spray"
+	"spray/internal/num"
+)
+
+// Stencil2D is a 2-D cross/box stencil over a row-major rows×cols grid,
+// the two-dimensional analogue of the paper's convolution test case. Its
+// back-propagation scatters into a 2-D neighborhood, exercising the
+// Reducer2D extension.
+type Stencil2D[T num.Float] struct {
+	// Taps maps (di+R, dj+R) to the weight of offset (di, dj); the
+	// matrix must be square with odd side 2R+1.
+	Taps [][]T
+}
+
+// Radius returns the stencil half-width and validates the tap matrix.
+func (s Stencil2D[T]) Radius() int {
+	k := len(s.Taps)
+	if k == 0 || k%2 == 0 {
+		panic(fmt.Sprintf("conv: 2-D stencil needs odd positive side, got %d", k))
+	}
+	for _, row := range s.Taps {
+		if len(row) != k {
+			panic("conv: 2-D stencil taps must be square")
+		}
+	}
+	return k / 2
+}
+
+// Forward computes the gather stencil over the grid interior:
+// out[i][j] = Σ taps[di][dj] · in[i+di-R][j+dj-R].
+func (s Stencil2D[T]) Forward(in, out []T, rows, cols int) {
+	checkGrid(in, out, rows, cols)
+	r := s.Radius()
+	for i := r; i < rows-r; i++ {
+		for j := r; j < cols-r; j++ {
+			var sum T
+			for di := 0; di <= 2*r; di++ {
+				for dj := 0; dj <= 2*r; dj++ {
+					sum += s.Taps[di][dj] * in[(i+di-r)*cols+(j+dj-r)]
+				}
+			}
+			out[i*cols+j] = sum
+		}
+	}
+}
+
+// BackpropSeq is the sequential adjoint scatter of Forward.
+func (s Stencil2D[T]) BackpropSeq(seed, out []T, rows, cols int) {
+	checkGrid(seed, out, rows, cols)
+	r := s.Radius()
+	for i := r; i < rows-r; i++ {
+		for j := r; j < cols-r; j++ {
+			sd := seed[i*cols+j]
+			for di := 0; di <= 2*r; di++ {
+				for dj := 0; dj <= 2*r; dj++ {
+					out[(i+di-r)*cols+(j+dj-r)] += s.Taps[di][dj] * sd
+				}
+			}
+		}
+	}
+}
+
+// Backprop runs the adjoint scatter in parallel over rows through a 2-D
+// SPRAY reducer with the given strategy.
+func (s Stencil2D[T]) Backprop(team *spray.Team, st spray.Strategy, seed, out []T, rows, cols int) spray.Reducer2D[T] {
+	checkGrid(seed, out, rows, cols)
+	r := s.Radius()
+	return spray.ReduceFor2D(team, st, out, rows, cols, r, rows-r, spray.Static(),
+		func(acc spray.Accessor2D[T], fromRow, toRow int) {
+			for i := fromRow; i < toRow; i++ {
+				for j := r; j < cols-r; j++ {
+					sd := seed[i*cols+j]
+					for di := 0; di <= 2*r; di++ {
+						for dj := 0; dj <= 2*r; dj++ {
+							acc.Add(i+di-r, j+dj-r, s.Taps[di][dj]*sd)
+						}
+					}
+				}
+			}
+		})
+}
+
+func checkGrid[T num.Float](a, b []T, rows, cols int) {
+	if len(a) != rows*cols || len(b) != rows*cols {
+		panic(fmt.Sprintf("conv: grid size mismatch: %d and %d elements for %dx%d", len(a), len(b), rows, cols))
+	}
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("conv: grid %dx%d too small for a stencil", rows, cols))
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import "spray/internal/num"
+
+// Atomic is the SPRAY AtomicReduction: every Add updates the original
+// storage location with an atomic compare-and-swap loop over the float's
+// bit pattern — the lowering of "#pragma omp atomic update" on hardware
+// without native floating-point fetch-and-add. There is no privatized
+// memory, no init work and no fix-up; the cost is a per-update latency tax
+// and potential contention on shared cache lines.
+type Atomic[T num.Float] struct {
+	out     []T
+	privs   []atomicPrivate[T]
+	threads int
+}
+
+// NewAtomic wraps out for a team of the given size.
+func NewAtomic[T num.Float](out []T, threads int) *Atomic[T] {
+	validate(out, threads)
+	return &Atomic[T]{out: out, privs: make([]atomicPrivate[T], threads), threads: threads}
+}
+
+type atomicPrivate[T num.Float] struct{ out []T }
+
+func (p *atomicPrivate[T]) Add(i int, v T) { num.AtomicAdd(p.out, i, v) }
+func (p *atomicPrivate[T]) Done()          {}
+
+// Private returns an accessor that updates the shared array directly.
+func (a *Atomic[T]) Private(tid int) Private[T] {
+	a.privs[tid] = atomicPrivate[T]{out: a.out}
+	return &a.privs[tid]
+}
+
+// Finalize is a no-op: all updates landed in the original array already.
+func (a *Atomic[T]) Finalize() {}
+
+func (a *Atomic[T]) Bytes() int64     { return 0 }
+func (a *Atomic[T]) PeakBytes() int64 { return 0 }
+func (a *Atomic[T]) Name() string     { return "atomic" }
+func (a *Atomic[T]) Threads() int     { return a.threads }

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"spray/internal/memtrack"
+	"spray/internal/num"
+)
+
+// BlockMode selects among the three BlockReduction flavors in the paper.
+type BlockMode int
+
+const (
+	// BlockPrivate privatizes blocks on demand for every thread: the
+	// first touch of a block allocates a zeroed private copy of that
+	// block only. Summation order matches the dense strategy; the only
+	// difference is that untouched blocks are never materialized.
+	BlockPrivate BlockMode = iota
+	// BlockLock lets the first thread to touch a block claim ownership
+	// of the block *inside the original array* under a lock (the
+	// OpenMP-locks variant in the paper); later threads touching the
+	// same block fall back to private copies.
+	BlockLock
+	// BlockCAS is BlockLock with lock-free claiming via a single
+	// compare-and-swap on the block's owner word.
+	BlockCAS
+)
+
+func (m BlockMode) String() string {
+	switch m {
+	case BlockPrivate:
+		return "block-private"
+	case BlockLock:
+		return "block-lock"
+	case BlockCAS:
+		return "block-cas"
+	default:
+		return fmt.Sprintf("BlockMode(%d)", int(m))
+	}
+}
+
+const freeOwner = int32(-1)
+
+// Block is the SPRAY BlockReduction: the array is divided into
+// statically sized blocks that are privatized (or claimed) individually on
+// demand. Private (the paper's `init`) allocates only the per-thread
+// block-pointer table; block storage appears lazily on first touch.
+// Finalize merges fallback blocks elementwise and releases ownership.
+//
+// The block size is the hyperparameter the paper sweeps in Figure 13: it
+// trades the number of block allocations against wasted work on unused
+// elements inside touched blocks. Block sizes must be powers of two so the
+// per-update block lookup is a shift and the intra-block offset a mask.
+type Block[T num.Float] struct {
+	out     []T
+	threads int
+	bsize   int
+	shift   uint
+	mask    int
+	nblocks int
+	mode    BlockMode
+
+	owner []atomic.Int32 // lock & CAS modes: owning tid per block, -1 free
+	locks []sync.Mutex   // lock mode only
+	privs []blockPrivate[T]
+	mem   memtrack.Counter
+}
+
+// NewBlock wraps out for a team of the given size. blockSize must be a
+// positive power of two.
+func NewBlock[T num.Float](out []T, threads, blockSize int, mode BlockMode) *Block[T] {
+	validate(out, threads)
+	if blockSize < 1 || blockSize&(blockSize-1) != 0 {
+		panic(fmt.Sprintf("core: block size must be a positive power of two, got %d", blockSize))
+	}
+	b := &Block[T]{
+		out:     out,
+		threads: threads,
+		bsize:   blockSize,
+		shift:   uint(bits.TrailingZeros(uint(blockSize))),
+		mask:    blockSize - 1,
+		nblocks: (len(out) + blockSize - 1) / blockSize,
+		mode:    mode,
+		privs:   make([]blockPrivate[T], threads),
+	}
+	if mode == BlockLock || mode == BlockCAS {
+		b.owner = make([]atomic.Int32, b.nblocks)
+		for i := range b.owner {
+			b.owner[i].Store(freeOwner)
+		}
+		if mode == BlockLock {
+			b.locks = make([]sync.Mutex, b.nblocks)
+		}
+	}
+	return b
+}
+
+// privBlock records one privatized fallback block for the fix-up merge.
+type privBlock[T num.Float] struct {
+	block int
+	buf   []T
+}
+
+type blockPrivate[T num.Float] struct {
+	parent *Block[T]
+	tid    int32
+	view   [][]T // per block: nil until touched, then direct or private storage
+	fallbk []privBlock[T]
+}
+
+// Add accumulates into the block view, resolving the block on first touch.
+func (p *blockPrivate[T]) Add(i int, v T) {
+	b := i >> p.parent.shift
+	view := p.view[b]
+	if view == nil {
+		view = p.acquire(int(b))
+	}
+	view[i&p.parent.mask] += v
+}
+
+// acquire resolves storage for block b: claim it in the original array
+// when the mode allows and the block is unowned, otherwise allocate a
+// zeroed private copy.
+func (p *blockPrivate[T]) acquire(b int) []T {
+	parent := p.parent
+	base := b << parent.shift
+	end := base + parent.bsize
+	if end > len(parent.out) {
+		end = len(parent.out)
+	}
+	var view []T
+	switch parent.mode {
+	case BlockCAS:
+		if parent.owner[b].CompareAndSwap(freeOwner, p.tid) {
+			view = parent.out[base:end]
+		}
+	case BlockLock:
+		parent.locks[b].Lock()
+		if parent.owner[b].Load() == freeOwner {
+			parent.owner[b].Store(p.tid)
+			view = parent.out[base:end]
+		}
+		parent.locks[b].Unlock()
+	}
+	if view == nil { // BlockPrivate mode, or the block is owned elsewhere
+		var zero T
+		view = make([]T, end-base)
+		parent.mem.Alloc(memtrack.SliceBytes(len(view), unsafe.Sizeof(zero)))
+		p.fallbk = append(p.fallbk, privBlock[T]{block: b, buf: view})
+	}
+	p.view[b] = view
+	return view
+}
+
+func (p *blockPrivate[T]) Done() {}
+
+// Private allocates the thread's block-pointer table — the only init-time
+// cost of the block strategies.
+func (bl *Block[T]) Private(tid int) Private[T] {
+	p := &bl.privs[tid]
+	if p.view == nil {
+		p.view = make([][]T, bl.nblocks)
+		bl.mem.Alloc(memtrack.SliceBytes(bl.nblocks, unsafe.Sizeof([]T(nil))))
+	} else {
+		clear(p.view)
+	}
+	p.parent = bl
+	p.tid = int32(tid)
+	p.fallbk = p.fallbk[:0]
+	return p
+}
+
+// Finalize merges all privatized fallback blocks into the original array
+// and releases block ownership for the next region. Directly owned blocks
+// already hold their contributions.
+func (bl *Block[T]) Finalize() {
+	var zero T
+	for t := range bl.privs {
+		p := &bl.privs[t]
+		for _, fb := range p.fallbk {
+			base := fb.block << bl.shift
+			for j, v := range fb.buf {
+				bl.out[base+j] += v
+			}
+			bl.mem.Free(memtrack.SliceBytes(len(fb.buf), unsafe.Sizeof(zero)))
+		}
+		p.fallbk = p.fallbk[:0]
+	}
+	for i := range bl.owner {
+		bl.owner[i].Store(freeOwner)
+	}
+}
+
+func (bl *Block[T]) Bytes() int64     { return bl.mem.Bytes() }
+func (bl *Block[T]) PeakBytes() int64 { return bl.mem.Peak() }
+func (bl *Block[T]) Name() string     { return fmt.Sprintf("%s-%d", bl.mode, bl.bsize) }
+func (bl *Block[T]) Threads() int     { return bl.threads }
+
+// BlockSize returns the configured block size (exported for the Figure 13
+// sweep harness).
+func (bl *Block[T]) BlockSize() int { return bl.bsize }

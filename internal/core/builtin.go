@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sync"
+	"unsafe"
+
+	"spray/internal/memtrack"
+	"spray/internal/num"
+)
+
+// Builtin models the reduction strategy the OpenMP standard prescribes for
+// the reduction clause, as implemented by the compilers the paper tested:
+// each thread privatizes the whole array and the private instances are
+// combined into the original "in an implementation-defined order" when the
+// region ends — in practice serialized, each thread folding its copy in
+// under a lock as it finishes. It is the paper's primary baseline.
+//
+// Two deliberate differences from Dense: the combine happens in Done (so
+// it is serialized across threads exactly like a compiler-emitted critical
+// combine), and the private copy is dropped immediately after combining.
+// One unavoidable difference from the C++ compilers: the copies live on
+// the heap, since Go goroutine stacks are not user-sized (the paper notes
+// the stack placement is itself a quality-of-implementation problem that
+// forces users to raise OMP_STACKSIZE).
+type Builtin[T num.Float] struct {
+	out     []T
+	privs   []builtinPrivate[T]
+	threads int
+	mu      sync.Mutex
+	mem     memtrack.Counter
+}
+
+// NewBuiltin wraps out for a team of the given size.
+func NewBuiltin[T num.Float](out []T, threads int) *Builtin[T] {
+	validate(out, threads)
+	return &Builtin[T]{out: out, privs: make([]builtinPrivate[T], threads), threads: threads}
+}
+
+type builtinPrivate[T num.Float] struct {
+	parent *Builtin[T]
+	buf    []T
+}
+
+func (p *builtinPrivate[T]) Add(i int, v T) { p.buf[i] += v }
+
+// Done folds the private copy into the original under the combine lock and
+// releases it, mirroring the end-of-region combination step.
+func (p *builtinPrivate[T]) Done() {
+	d := p.parent
+	d.mu.Lock()
+	for i, v := range p.buf {
+		d.out[i] += v
+	}
+	d.mu.Unlock()
+	var zero T
+	d.mem.Free(memtrack.SliceBytes(len(p.buf), unsafe.Sizeof(zero)))
+	p.buf = nil
+}
+
+// Private allocates and zero-initializes the thread's full copy.
+func (d *Builtin[T]) Private(tid int) Private[T] {
+	var zero T
+	buf := make([]T, len(d.out))
+	d.mem.Alloc(memtrack.SliceBytes(len(d.out), unsafe.Sizeof(zero)))
+	d.privs[tid] = builtinPrivate[T]{parent: d, buf: buf}
+	return &d.privs[tid]
+}
+
+// Finalize is a no-op: every private copy was already combined in Done.
+func (d *Builtin[T]) Finalize() {}
+
+func (d *Builtin[T]) Bytes() int64     { return d.mem.Bytes() }
+func (d *Builtin[T]) PeakBytes() int64 { return d.mem.Peak() }
+func (d *Builtin[T]) Name() string     { return "omp-builtin" }
+func (d *Builtin[T]) Threads() int     { return d.threads }

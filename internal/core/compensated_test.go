@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"spray/internal/num"
+	"spray/internal/par"
+)
+
+func TestCompensatedMatchesSequentialOnExactValues(t *testing.T) {
+	const n, iters = 600, 250
+	ups := genUpdates(31, iters, n, 3)
+	want := seqApply(n, ups, 1)
+	for _, threads := range []int{1, 4} {
+		team := par.NewTeam(threads)
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = 1
+		}
+		r := NewCompensated(out, threads)
+		runReduction(t, team, r, iters, ups)
+		team.Close()
+		if d := num.MaxAbsDiff(out, want); d != 0 {
+			t.Errorf("threads=%d: diff %v", threads, d)
+		}
+	}
+}
+
+// TestCompensatedBeatsDenseAccuracy reduces many float32 values that an
+// uncompensated partial sum cannot absorb exactly; the Kahan strategy
+// must land strictly closer to the float64 reference.
+func TestCompensatedBeatsDenseAccuracy(t *testing.T) {
+	const n = 4
+	const updates = 1 << 20
+	const tiny = float32(1e-7)
+	run := func(mk func(out []float32) Reducer[float32]) []float32 {
+		out := make([]float32, n)
+		r := mk(out)
+		acc := r.Private(0)
+		acc.Add(0, 1) // large head value the tiny tail fights against
+		for i := 0; i < updates; i++ {
+			acc.Add(0, tiny)
+		}
+		acc.Done()
+		r.Finalize()
+		return out
+	}
+	want := 1 + float64(updates)*float64(tiny)
+	dense := run(func(o []float32) Reducer[float32] { return NewDense(o, 1) })
+	comp := run(func(o []float32) Reducer[float32] { return NewCompensated(o, 1) })
+	denseErr := math.Abs(float64(dense[0]) - want)
+	compErr := math.Abs(float64(comp[0]) - want)
+	if compErr >= denseErr {
+		t.Errorf("compensated error %v not below dense %v (want %v)", compErr, denseErr, want)
+	}
+	if compErr > 1e-6*want {
+		t.Errorf("compensated error %v too large", compErr)
+	}
+}
+
+func TestCompensatedParallelFinalize(t *testing.T) {
+	const n, iters, threads = 500, 200, 4
+	ups := genUpdates(32, iters, n, 2)
+	want := seqApply(n, ups, 0)
+	team := par.NewTeam(threads)
+	defer team.Close()
+	out := make([]float64, n)
+	r := NewCompensated(out, threads)
+	byIter := make([][]update, iters)
+	for _, u := range ups {
+		byIter[u.Iter] = append(byIter[u.Iter], u)
+	}
+	team.Run(func(tid int) {
+		from, to := par.StaticRange(0, iters, tid, threads)
+		acc := r.Private(tid)
+		for it := from; it < to; it++ {
+			for _, u := range byIter[it] {
+				acc.Add(u.Idx, u.Val)
+			}
+		}
+		acc.Done()
+	})
+	r.FinalizeWith(team)
+	if d := num.MaxAbsDiff(out, want); d != 0 {
+		t.Errorf("FinalizeWith diff %v", d)
+	}
+}
+
+func TestCompensatedMemoryTwiceDense(t *testing.T) {
+	const n, threads = 1 << 10, 3
+	out := make([]float64, n)
+	c := NewCompensated(out, threads)
+	for tid := 0; tid < threads; tid++ {
+		c.Private(tid)
+	}
+	want := int64(2 * threads * n * 8)
+	if c.Bytes() != want {
+		t.Errorf("bytes=%d, want %d", c.Bytes(), want)
+	}
+	c.Finalize()
+	if c.Bytes() != 0 {
+		t.Errorf("bytes after finalize=%d", c.Bytes())
+	}
+	if c.Name() != "compensated" {
+		t.Errorf("name=%q", c.Name())
+	}
+}

@@ -1,0 +1,68 @@
+// Package core implements the paper's primary contribution: the SPRAY
+// reducer objects. Each reducer wraps a target array and lets a team of
+// goroutines accumulate `out[i] += v` contributions concurrently while the
+// strategy decides how safety is achieved — full privatization (dense),
+// atomics, key-value accumulation (map / B-tree), lazily privatized blocks
+// (block-private / block-lock / block-CAS), or static ownership with
+// update-request queues (keeper).
+//
+// Lifecycle (mirroring OpenMP declare-reduction): the constructor is cheap
+// and wraps (array, size); Private(tid) is the per-thread `init`; Add is
+// the overloaded `+=`; Finalize is the `reduce` fix-up that makes every
+// contribution visible in the original array and returns the reducer to a
+// reusable state for the next parallel region.
+package core
+
+import (
+	"spray/internal/num"
+	"spray/internal/par"
+)
+
+// Private is the per-thread accessor handed to the parallel region body.
+// Implementations are not safe for use by more than the owning goroutine.
+type Private[T num.Float] interface {
+	// Add accumulates v into logical position i of the wrapped array.
+	Add(i int, v T)
+	// Done signals that the owning thread has finished its iterations
+	// for the current region.
+	Done()
+}
+
+// Reducer is the strategy-independent contract every SPRAY reducer object
+// fulfills. After Finalize returns, all contributions from all Privates
+// are visible in the wrapped array.
+type Reducer[T num.Float] interface {
+	// Private returns the accessor for thread tid in [0, Threads()).
+	// It must be called at most once per tid per region.
+	Private(tid int) Private[T]
+	// Finalize runs the fix-up combining step and resets the reducer
+	// for reuse in a subsequent region.
+	Finalize()
+	// Bytes reports the strategy's current extra memory in bytes.
+	Bytes() int64
+	// PeakBytes reports the high-water mark of extra memory.
+	PeakBytes() int64
+	// Name identifies the strategy (e.g. "block-cas-1024").
+	Name() string
+	// Threads returns the team size the reducer was built for.
+	Threads() int
+}
+
+// ParallelFinalizer is implemented by reducers whose fix-up step can use
+// the team itself (the way OpenMP runtimes combine private copies with the
+// team that executed the region). Drivers should prefer FinalizeWith when
+// a team is at hand.
+type ParallelFinalizer interface {
+	FinalizeWith(t *par.Team)
+}
+
+// validate panics on obviously bad constructor arguments; reducers are
+// infrastructure and misuse should fail loudly.
+func validate[T num.Float](out []T, threads int) {
+	if threads < 1 {
+		panic("core: reducer needs a positive thread count")
+	}
+	if out == nil {
+		panic("core: reducer needs a non-nil target array")
+	}
+}

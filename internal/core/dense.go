@@ -1,0 +1,100 @@
+package core
+
+import (
+	"unsafe"
+
+	"spray/internal/memtrack"
+	"spray/internal/num"
+	"spray/internal/par"
+)
+
+// Dense is the SPRAY DenseReduction: every thread receives a full private
+// copy of the array, allocated on the heap in Private (the paper's `init`),
+// and all copies are combined elementwise in Finalize (the `reduce`).
+// Memory grows as threads × array size; for sparse access patterns most of
+// that allocation, zeroing and merging is wasted work — which is precisely
+// the pathology the paper measures.
+type Dense[T num.Float] struct {
+	out     []T
+	bufs    [][]T
+	privs   []densePrivate[T]
+	threads int
+	mem     memtrack.Counter
+}
+
+// NewDense wraps out for a team of the given size.
+func NewDense[T num.Float](out []T, threads int) *Dense[T] {
+	validate(out, threads)
+	return &Dense[T]{
+		out:     out,
+		bufs:    make([][]T, threads),
+		privs:   make([]densePrivate[T], threads),
+		threads: threads,
+	}
+}
+
+type densePrivate[T num.Float] struct{ buf []T }
+
+func (p *densePrivate[T]) Add(i int, v T) { p.buf[i] += v }
+func (p *densePrivate[T]) Done()          {}
+
+// Private allocates (or re-zeroes, when the reducer is reused across
+// regions) the thread's full copy.
+func (d *Dense[T]) Private(tid int) Private[T] {
+	var zero T
+	if d.bufs[tid] == nil {
+		d.bufs[tid] = make([]T, len(d.out))
+		d.mem.Alloc(memtrack.SliceBytes(len(d.out), unsafe.Sizeof(zero)))
+	} else {
+		clear(d.bufs[tid])
+	}
+	d.privs[tid] = densePrivate[T]{buf: d.bufs[tid]}
+	return &d.privs[tid]
+}
+
+// Finalize combines all private copies into the target serially.
+func (d *Dense[T]) Finalize() {
+	for tid, buf := range d.bufs {
+		if buf == nil {
+			continue
+		}
+		for i, v := range buf {
+			d.out[i] += v
+		}
+		d.release(tid)
+	}
+}
+
+// FinalizeWith combines all private copies with the team: each member
+// merges every copy over a disjoint segment of the array, the tree-free
+// analogue of a parallel OpenMP reduction combine.
+func (d *Dense[T]) FinalizeWith(t *par.Team) {
+	t.Run(func(tid int) {
+		from, to := par.StaticRange(0, len(d.out), tid, t.Size())
+		for _, buf := range d.bufs {
+			if buf == nil {
+				continue
+			}
+			for i := from; i < to; i++ {
+				d.out[i] += buf[i]
+			}
+		}
+	})
+	for tid := range d.bufs {
+		d.release(tid)
+	}
+}
+
+func (d *Dense[T]) release(tid int) {
+	if d.bufs[tid] == nil {
+		return
+	}
+	var zero T
+	d.mem.Free(memtrack.SliceBytes(len(d.out), unsafe.Sizeof(zero)))
+	d.bufs[tid] = nil
+}
+
+func (d *Dense[T]) Bytes() int64     { return d.mem.Bytes() }
+func (d *Dense[T]) PeakBytes() int64 { return d.mem.Peak() }
+func (d *Dense[T]) Name() string     { return "dense" }
+func (d *Dense[T]) Threads() int     { return d.threads }

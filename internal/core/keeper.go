@@ -1,0 +1,132 @@
+package core
+
+import (
+	"unsafe"
+
+	"spray/internal/memtrack"
+	"spray/internal/num"
+	"spray/internal/par"
+)
+
+// Keeper is the SPRAY KeeperReduction: ownership of the reduction
+// locations is distributed statically across threads in contiguous ranges.
+// A thread updates locations it owns non-atomically in the original
+// storage; updates to foreign locations become "update requests" enqueued
+// with the owner (index + value pairs). At Finalize all requests are
+// applied — concurrently when a team is supplied, since each owner's range
+// is disjoint. The strategy excels when the indices a thread updates
+// mostly coincide with its static ownership range (e.g. the near one-to-one
+// loop-counter-to-location mapping of the convolution back-propagation).
+type Keeper[T num.Float] struct {
+	out     []T
+	threads int
+	chunk   int // ceil(len(out)/threads); owner(i) = i/chunk
+	privs   []keeperPrivate[T]
+	mem     memtrack.Counter
+}
+
+// NewKeeper wraps out for a team of the given size.
+func NewKeeper[T num.Float](out []T, threads int) *Keeper[T] {
+	validate(out, threads)
+	chunk := (len(out) + threads - 1) / threads
+	if chunk < 1 {
+		chunk = 1
+	}
+	k := &Keeper[T]{out: out, threads: threads, chunk: chunk}
+	k.privs = make([]keeperPrivate[T], threads)
+	for t := range k.privs {
+		k.privs[t] = keeperPrivate[T]{
+			parent: k,
+			out:    out,
+			chunk:  chunk,
+			tid:    t,
+			qIdx:   make([][]int32, threads),
+			qVal:   make([][]T, threads),
+		}
+	}
+	return k
+}
+
+// Owner returns the thread that owns location i.
+func (k *Keeper[T]) Owner(i int) int { return i / k.chunk }
+
+type keeperPrivate[T num.Float] struct {
+	parent *Keeper[T]
+	out    []T // cached from parent for the hot path
+	chunk  int
+	tid    int
+	qIdx   [][]int32 // per destination owner
+	qVal   [][]T
+}
+
+// Add writes owned locations directly and enqueues an update request with
+// the owner otherwise.
+func (p *keeperPrivate[T]) Add(i int, v T) {
+	o := i / p.chunk
+	if o == p.tid {
+		p.out[i] += v
+		return
+	}
+	p.qIdx[o] = append(p.qIdx[o], int32(i))
+	p.qVal[o] = append(p.qVal[o], v)
+}
+
+// Done charges the queued requests to the memory counter.
+func (p *keeperPrivate[T]) Done() {
+	var zero T
+	per := int64(4 + unsafe.Sizeof(zero))
+	var n int64
+	for o := range p.qIdx {
+		n += int64(len(p.qIdx[o]))
+	}
+	p.parent.mem.Alloc(n * per)
+}
+
+// Private returns the accessor for thread tid; queues retained from a
+// previous region are reused (emptied, capacity kept).
+func (k *Keeper[T]) Private(tid int) Private[T] {
+	p := &k.privs[tid]
+	for o := range p.qIdx {
+		p.qIdx[o] = p.qIdx[o][:0]
+		p.qVal[o] = p.qVal[o][:0]
+	}
+	return p
+}
+
+// Finalize applies every queued update request serially.
+func (k *Keeper[T]) Finalize() {
+	for o := 0; o < k.threads; o++ {
+		k.applyOwner(o)
+	}
+	k.mem.Free(k.mem.Bytes())
+}
+
+// FinalizeWith applies the update requests with the team, one owner range
+// per member at a time. Owner ranges are disjoint, so no synchronization
+// is needed beyond the region join.
+func (k *Keeper[T]) FinalizeWith(t *par.Team) {
+	t.Run(func(tid int) {
+		for o := tid; o < k.threads; o += t.Size() {
+			k.applyOwner(o)
+		}
+	})
+	k.mem.Free(k.mem.Bytes())
+}
+
+// applyOwner applies all requests destined for owner o's range.
+func (k *Keeper[T]) applyOwner(o int) {
+	for t := range k.privs {
+		p := &k.privs[t]
+		idx, val := p.qIdx[o], p.qVal[o]
+		for j, i := range idx {
+			k.out[i] += val[j]
+		}
+		p.qIdx[o] = idx[:0]
+		p.qVal[o] = val[:0]
+	}
+}
+
+func (k *Keeper[T]) Bytes() int64     { return k.mem.Bytes() }
+func (k *Keeper[T]) PeakBytes() int64 { return k.mem.Peak() }
+func (k *Keeper[T]) Name() string     { return "keeper" }
+func (k *Keeper[T]) Threads() int     { return k.threads }

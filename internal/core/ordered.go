@@ -1,0 +1,84 @@
+package core
+
+import (
+	"unsafe"
+
+	"spray/internal/memtrack"
+	"spray/internal/num"
+)
+
+// Ordered is a reproducibility-oriented reducer the paper lists as future
+// work ("additional strategies could be developed with reproducibility in
+// mind"): every thread logs its (index, value) updates in program order,
+// and Finalize replays the logs in ascending thread id. Under a
+// deterministic schedule (the default static schedule maps iterations to
+// threads by a fixed rule) the summation order — and therefore the
+// floating-point result — is bitwise identical across runs, regardless of
+// timing. Changing the thread count or using a timing-dependent schedule
+// (dynamic/guided) changes the canonical order and may change the last
+// bits, exactly as rerunning an OpenMP program with a different
+// OMP_NUM_THREADS would.
+//
+// The price is memory proportional to the total number of updates, making
+// Ordered the most memory-hungry strategy for update-dense loops; it is a
+// correctness tool, not a performance strategy.
+type Ordered[T num.Float] struct {
+	out     []T
+	privs   []orderedPrivate[T]
+	threads int
+	mem     memtrack.Counter
+}
+
+// NewOrdered wraps out for a team of the given size.
+func NewOrdered[T num.Float](out []T, threads int) *Ordered[T] {
+	validate(out, threads)
+	o := &Ordered[T]{out: out, threads: threads}
+	o.privs = make([]orderedPrivate[T], threads)
+	for t := range o.privs {
+		o.privs[t].parent = o
+	}
+	return o
+}
+
+type orderedPrivate[T num.Float] struct {
+	parent *Ordered[T]
+	idx    []int32
+	val    []T
+}
+
+// Add logs the update in thread-program order.
+func (p *orderedPrivate[T]) Add(i int, v T) {
+	p.idx = append(p.idx, int32(i))
+	p.val = append(p.val, v)
+}
+
+// Done charges the log to the memory counter.
+func (p *orderedPrivate[T]) Done() {
+	var zero T
+	p.parent.mem.Alloc(int64(len(p.idx)) * int64(4+unsafe.Sizeof(zero)))
+}
+
+// Private returns the accessor for thread tid; logs retained from a
+// previous region are reused with their capacity.
+func (o *Ordered[T]) Private(tid int) Private[T] {
+	p := &o.privs[tid]
+	p.idx = p.idx[:0]
+	p.val = p.val[:0]
+	return p
+}
+
+// Finalize replays all logs in canonical (thread id, program) order.
+func (o *Ordered[T]) Finalize() {
+	for t := range o.privs {
+		p := &o.privs[t]
+		for j, i := range p.idx {
+			o.out[i] += p.val[j]
+		}
+	}
+	o.mem.Free(o.mem.Bytes())
+}
+
+func (o *Ordered[T]) Bytes() int64     { return o.mem.Bytes() }
+func (o *Ordered[T]) PeakBytes() int64 { return o.mem.Peak() }
+func (o *Ordered[T]) Name() string     { return "ordered" }
+func (o *Ordered[T]) Threads() int     { return o.threads }

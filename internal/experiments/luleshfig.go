@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spray"
+	"spray/internal/bench"
+	"spray/internal/lulesh"
+	"spray/internal/par"
+)
+
+// LuleshConfig parameterizes the shock-hydrodynamics experiment (§VI-C /
+// Figure 16). The paper runs a 90³ mesh for 100 iterations; the default
+// here is smaller so the sweep finishes on a laptop — pass Edge=90 to
+// match the paper exactly.
+type LuleshConfig struct {
+	Edge    int
+	Cycles  int
+	Threads []int
+	Schemes []string // force-scheme names: "original" or spray strategy names
+	Repeats int
+}
+
+// DefaultLuleshConfig returns the Figure 16 sweep.
+func DefaultLuleshConfig(edge, cycles, maxThreads int) LuleshConfig {
+	return LuleshConfig{
+		Edge:    edge,
+		Cycles:  cycles,
+		Threads: bench.ThreadCounts(maxThreads),
+		Schemes: []string{
+			"original", "omp-builtin", "dense", "atomic",
+			"block-lock-1024", "block-cas-1024", "keeper",
+		},
+		Repeats: 3,
+	}
+}
+
+// luleshScheme resolves a scheme name.
+func luleshScheme(name string) (lulesh.ForceScheme, error) {
+	if name == "original" {
+		return lulesh.Original(), nil
+	}
+	st, err := spray.ParseStrategy(name)
+	if err != nil {
+		return nil, err
+	}
+	return lulesh.Spray(st), nil
+}
+
+// Lulesh reproduces Figure 16: whole-application run time (left) and
+// force-accumulation memory overhead (right, the Bytes column) for the
+// original LULESH scheme and the SPRAY reducers across thread counts.
+func Lulesh(cfg LuleshConfig) (*bench.Result, error) {
+	res := &bench.Result{
+		Title:  fmt.Sprintf("Figure 16: LULESH %d^3, %d cycles", cfg.Edge, cfg.Cycles),
+		XLabel: "threads",
+		Notes: []string{
+			"time is the full application run, as printed by LULESH (paper §VI-C)",
+			"memory is the force-accumulation scheme's peak overhead",
+		},
+	}
+	params := lulesh.Defaults()
+	params.MaxCycles = cfg.Cycles
+	params.StopTime = 1e9 // cycle-bound, like the paper's fixed iteration count
+
+	runner := bench.Runner{Repeats: cfg.Repeats}
+	for _, name := range cfg.Schemes {
+		for _, th := range cfg.Threads {
+			fs, err := luleshScheme(name)
+			if err != nil {
+				return nil, err
+			}
+			team := par.NewTeam(th)
+			var runErr error
+			summary := runner.Measure(func() {
+				d := lulesh.New(cfg.Edge, params)
+				if _, err := d.Run(team, fs); err != nil && runErr == nil {
+					runErr = err
+				}
+			})
+			team.Close()
+			if runErr != nil {
+				return nil, fmt.Errorf("scheme %s threads %d: %w", name, th, runErr)
+			}
+			res.AddPoint(fs.Name(), bench.Point{X: float64(th), Time: summary, Bytes: fs.PeakBytes()})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spray"
+	"spray/internal/bench"
+	"spray/internal/mkl"
+	"spray/internal/par"
+	"spray/internal/sparse"
+)
+
+// TMVConfig parameterizes the CSR transpose-matrix-vector experiment
+// (§VI-B / Figures 14 and 15).
+type TMVConfig struct {
+	Name       string
+	Matrix     *sparse.CSR[float32]
+	Threads    []int
+	Strategies []spray.Strategy
+	Runner     bench.Runner
+	WithMKL    bool
+}
+
+// DefaultTMVStrategies is the strategy set the figures plot.
+func DefaultTMVStrategies() []spray.Strategy {
+	return []spray.Strategy{
+		spray.Builtin(),
+		spray.Dense(),
+		spray.Atomic(),
+		spray.BlockLock(1024),
+		spray.BlockCAS(1024),
+		spray.Keeper(),
+	}
+}
+
+// TMVSequentialBaseline measures the sequential Figure 10 scatter loop.
+func TMVSequentialBaseline(cfg TMVConfig) float64 {
+	a := cfg.Matrix
+	x := vecOnes(a.Rows)
+	y := make([]float32, a.Cols)
+	return cfg.Runner.AutoBench(func(iters int) {
+		for i := 0; i < iters; i++ {
+			a.TMulVecSeq(x, y)
+		}
+	}).Mean
+}
+
+func vecOnes(n int) []float32 {
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = 1
+	}
+	return x
+}
+
+// TMV reproduces one of Figures 14/15 (left: run time vs threads; the
+// Bytes column of each point is the right panel's memory overhead):
+// SPRAY strategies against the MKL-substitute legacy and
+// inspector/executor baselines on the given matrix.
+func TMV(cfg TMVConfig) *bench.Result {
+	a := cfg.Matrix
+	res := &bench.Result{
+		Title:    fmt.Sprintf("Figure 14/15: transpose-matrix-vector on %s (%dx%d, %d nnz)", cfg.Name, a.Rows, a.Cols, a.NNZ()),
+		XLabel:   "threads",
+		Baseline: TMVSequentialBaseline(cfg),
+		Notes: []string{
+			"MKL closed-source baselines substituted with vendor-style Go implementations (DESIGN.md)",
+			"MKL-IE-hint excludes inspection time from the measurement, as in the paper",
+		},
+	}
+	x := vecOnes(a.Rows)
+	y := make([]float32, a.Cols)
+
+	for _, st := range cfg.Strategies {
+		for _, th := range cfg.Threads {
+			team := spray.NewTeam(th)
+			r := spray.New(st, y, th)
+			summary := cfg.Runner.AutoBench(func(iters int) {
+				for i := 0; i < iters; i++ {
+					sparse.RunTMulVec(team, r, a, x)
+				}
+			})
+			res.AddPoint(st.String(), bench.Point{X: float64(th), Time: summary, Bytes: r.PeakBytes()})
+			team.Close()
+		}
+	}
+
+	if cfg.WithMKL {
+		for _, th := range cfg.Threads {
+			team := par.NewTeam(th)
+
+			var legacyBytes int64
+			legacy := cfg.Runner.AutoBench(func(iters int) {
+				for i := 0; i < iters; i++ {
+					legacyBytes = mkl.LegacyTMulVec(team, a, x, y)
+				}
+			})
+			res.AddPoint("mkl-legacy", bench.Point{X: float64(th), Time: legacy, Bytes: legacyBytes})
+
+			h := mkl.NewHandle(a)
+			h.Optimize()
+			var ieBytes int64
+			ie := cfg.Runner.AutoBench(func(iters int) {
+				for i := 0; i < iters; i++ {
+					ieBytes = h.ExecuteTMulVec(team, x, y)
+				}
+			})
+			res.AddPoint("mkl-ie", bench.Point{X: float64(th), Time: ie, Bytes: ieBytes})
+
+			hh := mkl.NewHandle(a)
+			hh.SetHint(mkl.Hint{Transpose: true, Calls: 1 << 20})
+			hh.Optimize() // inspection excluded from timing, as in the paper
+			hint := cfg.Runner.AutoBench(func(iters int) {
+				for i := 0; i < iters; i++ {
+					hh.ExecuteTMulVec(team, x, y)
+				}
+			})
+			res.AddPoint("mkl-ie-hint", bench.Point{X: float64(th), Time: hint, Bytes: hh.ExtraBytes()})
+
+			team.Close()
+		}
+	}
+	return res
+}

@@ -1,0 +1,292 @@
+// Package hexelem provides the per-element geometry operators for
+// trilinear hexahedra, ported from LULESH 2.0 and shared by the LULESH
+// proxy application (internal/lulesh) and the FEM assembly substrate
+// (internal/fem): shape-function derivatives (the mean-quadrature "B
+// matrix"), exact element volume and its corner derivatives, the
+// Flanagan-Belytschko hourglass operators, the element characteristic
+// length and the velocity gradient. Everything is validated against
+// finite differences and invariance properties in the test suites.
+package hexelem
+
+import "math"
+
+// ShapeFunctionDerivatives computes the mean-quadrature "B
+// matrix" (nodal derivative weights b[0..2][8]) and the Jacobian-based
+// element volume for the hexahedron with corner coordinates x, y, z.
+// Straight port of LULESH CalcElemShapeFunctionDerivatives.
+func ShapeFunctionDerivatives(x, y, z *[8]float64, b *[3][8]float64) (volume float64) {
+	fjxxi := .125 * ((x[6] - x[0]) + (x[5] - x[3]) - (x[7] - x[1]) - (x[4] - x[2]))
+	fjxet := .125 * ((x[6] - x[0]) - (x[5] - x[3]) + (x[7] - x[1]) - (x[4] - x[2]))
+	fjxze := .125 * ((x[6] - x[0]) + (x[5] - x[3]) + (x[7] - x[1]) + (x[4] - x[2]))
+
+	fjyxi := .125 * ((y[6] - y[0]) + (y[5] - y[3]) - (y[7] - y[1]) - (y[4] - y[2]))
+	fjyet := .125 * ((y[6] - y[0]) - (y[5] - y[3]) + (y[7] - y[1]) - (y[4] - y[2]))
+	fjyze := .125 * ((y[6] - y[0]) + (y[5] - y[3]) + (y[7] - y[1]) + (y[4] - y[2]))
+
+	fjzxi := .125 * ((z[6] - z[0]) + (z[5] - z[3]) - (z[7] - z[1]) - (z[4] - z[2]))
+	fjzet := .125 * ((z[6] - z[0]) - (z[5] - z[3]) + (z[7] - z[1]) - (z[4] - z[2]))
+	fjzze := .125 * ((z[6] - z[0]) + (z[5] - z[3]) + (z[7] - z[1]) + (z[4] - z[2]))
+
+	// Cofactors of the Jacobian.
+	cjxxi := fjyet*fjzze - fjzet*fjyze
+	cjxet := -fjyxi*fjzze + fjzxi*fjyze
+	cjxze := fjyxi*fjzet - fjzxi*fjyet
+
+	cjyxi := -fjxet*fjzze + fjzet*fjxze
+	cjyet := fjxxi*fjzze - fjzxi*fjxze
+	cjyze := -fjxxi*fjzet + fjzxi*fjxet
+
+	cjzxi := fjxet*fjyze - fjyet*fjxze
+	cjzet := -fjxxi*fjyze + fjyxi*fjxze
+	cjzze := fjxxi*fjyet - fjyxi*fjxet
+
+	// Partials of the shape functions at the element center.
+	b[0][0] = -cjxxi - cjxet - cjxze
+	b[0][1] = cjxxi - cjxet - cjxze
+	b[0][2] = cjxxi + cjxet - cjxze
+	b[0][3] = -cjxxi + cjxet - cjxze
+	b[0][4] = -b[0][2]
+	b[0][5] = -b[0][3]
+	b[0][6] = -b[0][0]
+	b[0][7] = -b[0][1]
+
+	b[1][0] = -cjyxi - cjyet - cjyze
+	b[1][1] = cjyxi - cjyet - cjyze
+	b[1][2] = cjyxi + cjyet - cjyze
+	b[1][3] = -cjyxi + cjyet - cjyze
+	b[1][4] = -b[1][2]
+	b[1][5] = -b[1][3]
+	b[1][6] = -b[1][0]
+	b[1][7] = -b[1][1]
+
+	b[2][0] = -cjzxi - cjzet - cjzze
+	b[2][1] = cjzxi - cjzet - cjzze
+	b[2][2] = cjzxi + cjzet - cjzze
+	b[2][3] = -cjzxi + cjzet - cjzze
+	b[2][4] = -b[2][2]
+	b[2][5] = -b[2][3]
+	b[2][6] = -b[2][0]
+	b[2][7] = -b[2][1]
+
+	return 8 * (fjxet*cjxet + fjyet*cjyet + fjzet*cjzet)
+}
+
+// SumStressesToNodeForces turns the element's (diagonal) stress into
+// corner forces through the B matrix. Port of LULESH
+// SumElemStressesToNodeForces.
+func SumStressesToNodeForces(b *[3][8]float64, sigxx, sigyy, sigzz float64, fx, fy, fz *[8]float64) {
+	for i := 0; i < 8; i++ {
+		fx[i] = -sigxx * b[0][i]
+		fy[i] = -sigyy * b[1][i]
+		fz[i] = -sigzz * b[2][i]
+	}
+}
+
+func tripleProduct(x1, y1, z1, x2, y2, z2, x3, y3, z3 float64) float64 {
+	return x1*(y2*z3-z2*y3) + x2*(z1*y3-y1*z3) + x3*(y1*z2-z1*y2)
+}
+
+// Volume computes the exact volume of a trilinear hexahedron.
+// Port of LULESH CalcElemVolume.
+func Volume(x, y, z *[8]float64) float64 {
+	dx61 := x[6] - x[1]
+	dy61 := y[6] - y[1]
+	dz61 := z[6] - z[1]
+
+	dx70 := x[7] - x[0]
+	dy70 := y[7] - y[0]
+	dz70 := z[7] - z[0]
+
+	dx63 := x[6] - x[3]
+	dy63 := y[6] - y[3]
+	dz63 := z[6] - z[3]
+
+	dx20 := x[2] - x[0]
+	dy20 := y[2] - y[0]
+	dz20 := z[2] - z[0]
+
+	dx50 := x[5] - x[0]
+	dy50 := y[5] - y[0]
+	dz50 := z[5] - z[0]
+
+	dx64 := x[6] - x[4]
+	dy64 := y[6] - y[4]
+	dz64 := z[6] - z[4]
+
+	dx31 := x[3] - x[1]
+	dy31 := y[3] - y[1]
+	dz31 := z[3] - z[1]
+
+	dx72 := x[7] - x[2]
+	dy72 := y[7] - y[2]
+	dz72 := z[7] - z[2]
+
+	dx43 := x[4] - x[3]
+	dy43 := y[4] - y[3]
+	dz43 := z[4] - z[3]
+
+	dx57 := x[5] - x[7]
+	dy57 := y[5] - y[7]
+	dz57 := z[5] - z[7]
+
+	dx14 := x[1] - x[4]
+	dy14 := y[1] - y[4]
+	dz14 := z[1] - z[4]
+
+	dx25 := x[2] - x[5]
+	dy25 := y[2] - y[5]
+	dz25 := z[2] - z[5]
+
+	volume := tripleProduct(dx31+dx72, dx63, dx20,
+		dy31+dy72, dy63, dy20,
+		dz31+dz72, dz63, dz20) +
+		tripleProduct(dx43+dx57, dx64, dx70,
+			dy43+dy57, dy64, dy70,
+			dz43+dz57, dz64, dz70) +
+		tripleProduct(dx14+dx25, dx61, dx50,
+			dy14+dy25, dy61, dy50,
+			dz14+dz25, dz61, dz50)
+	return volume / 12
+}
+
+// voluDer is the LULESH VoluDer helper: the partial derivative of the hex
+// volume with respect to one corner, given six neighboring corners in the
+// order LULESH passes them.
+func voluDer(x0, x1, x2, x3, x4, x5,
+	y0, y1, y2, y3, y4, y5,
+	z0, z1, z2, z3, z4, z5 float64) (dvdx, dvdy, dvdz float64) {
+	dvdx = (y1+y2)*(z0+z1) - (y0+y1)*(z1+z2) +
+		(y0+y4)*(z3+z4) - (y3+y4)*(z0+z4) -
+		(y2+y5)*(z3+z5) + (y3+y5)*(z2+z5)
+	dvdy = -(x1+x2)*(z0+z1) + (x0+x1)*(z1+z2) -
+		(x0+x4)*(z3+z4) + (x3+x4)*(z0+z4) +
+		(x2+x5)*(z3+z5) - (x3+x5)*(z2+z5)
+	dvdz = -(y1+y2)*(x0+x1) + (y0+y1)*(x1+x2) -
+		(y0+y4)*(x3+x4) + (y3+y4)*(x0+x4) +
+		(y2+y5)*(x3+x5) - (y3+y5)*(x2+x5)
+	return dvdx / 12, dvdy / 12, dvdz / 12
+}
+
+// VolumeDerivative computes ∂V/∂(corner coordinates) for all
+// eight corners. Port of LULESH CalcElemVolumeDerivative.
+func VolumeDerivative(x, y, z *[8]float64, dvdx, dvdy, dvdz *[8]float64) {
+	dvdx[0], dvdy[0], dvdz[0] = voluDer(
+		x[1], x[2], x[3], x[4], x[5], x[7],
+		y[1], y[2], y[3], y[4], y[5], y[7],
+		z[1], z[2], z[3], z[4], z[5], z[7])
+	dvdx[3], dvdy[3], dvdz[3] = voluDer(
+		x[0], x[1], x[2], x[7], x[4], x[6],
+		y[0], y[1], y[2], y[7], y[4], y[6],
+		z[0], z[1], z[2], z[7], z[4], z[6])
+	dvdx[2], dvdy[2], dvdz[2] = voluDer(
+		x[3], x[0], x[1], x[6], x[7], x[5],
+		y[3], y[0], y[1], y[6], y[7], y[5],
+		z[3], z[0], z[1], z[6], z[7], z[5])
+	dvdx[1], dvdy[1], dvdz[1] = voluDer(
+		x[2], x[3], x[0], x[5], x[6], x[4],
+		y[2], y[3], y[0], y[5], y[6], y[4],
+		z[2], z[3], z[0], z[5], z[6], z[4])
+	dvdx[4], dvdy[4], dvdz[4] = voluDer(
+		x[7], x[6], x[5], x[0], x[3], x[1],
+		y[7], y[6], y[5], y[0], y[3], y[1],
+		z[7], z[6], z[5], z[0], z[3], z[1])
+	dvdx[5], dvdy[5], dvdz[5] = voluDer(
+		x[4], x[7], x[6], x[1], x[0], x[2],
+		y[4], y[7], y[6], y[1], y[0], y[2],
+		z[4], z[7], z[6], z[1], z[0], z[2])
+	dvdx[6], dvdy[6], dvdz[6] = voluDer(
+		x[5], x[4], x[7], x[2], x[1], x[3],
+		y[5], y[4], y[7], y[2], y[1], y[3],
+		z[5], z[4], z[7], z[2], z[1], z[3])
+	dvdx[7], dvdy[7], dvdz[7] = voluDer(
+		x[6], x[5], x[4], x[3], x[2], x[0],
+		y[6], y[5], y[4], y[3], y[2], y[0],
+		z[6], z[5], z[4], z[3], z[2], z[0])
+}
+
+// VelocityGradient computes the principal (diagonal) components
+// of the velocity gradient tensor at the element center from the shape
+// function derivatives b and the Jacobian volume detJ. Port of LULESH
+// CalcElemVelocityGradient (the shear components are unused by the
+// mini-port, as LULESH's volume strain rate only needs the trace).
+func VelocityGradient(xd, yd, zd *[8]float64, b *[3][8]float64, detJ float64) (dxx, dyy, dzz float64) {
+	inv := 1.0 / detJ
+	pfx, pfy, pfz := &b[0], &b[1], &b[2]
+	dxx = inv * (pfx[0]*(xd[0]-xd[6]) + pfx[1]*(xd[1]-xd[7]) +
+		pfx[2]*(xd[2]-xd[4]) + pfx[3]*(xd[3]-xd[5]))
+	dyy = inv * (pfy[0]*(yd[0]-yd[6]) + pfy[1]*(yd[1]-yd[7]) +
+		pfy[2]*(yd[2]-yd[4]) + pfy[3]*(yd[3]-yd[5]))
+	dzz = inv * (pfz[0]*(zd[0]-zd[6]) + pfz[1]*(zd[1]-zd[7]) +
+		pfz[2]*(zd[2]-zd[4]) + pfz[3]*(zd[3]-zd[5]))
+	return dxx, dyy, dzz
+}
+
+// HourglassGamma holds the four Flanagan–Belytschko hourglass base
+// vectors over the eight corners.
+var HourglassGamma = [4][8]float64{
+	{1, 1, -1, -1, -1, -1, 1, 1},
+	{1, -1, -1, 1, -1, 1, 1, -1},
+	{1, -1, 1, -1, 1, -1, 1, -1},
+	{-1, 1, -1, 1, 1, -1, 1, -1},
+}
+
+// HourglassForce computes the Flanagan–Belytschko hourglass
+// resistance corner forces for one element: hourgam are the volume-
+// orthogonalized hourglass shape vectors, xd/yd/zd the corner velocities,
+// coefficient the damping coefficient. Port of LULESH
+// CalcElemFBHourglassForce.
+func HourglassForce(xd, yd, zd *[8]float64, hourgam *[8][4]float64, coefficient float64,
+	hgfx, hgfy, hgfz *[8]float64) {
+	var hx, hy, hz [4]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			hx[i] += hourgam[j][i] * xd[j]
+			hy[i] += hourgam[j][i] * yd[j]
+			hz[i] += hourgam[j][i] * zd[j]
+		}
+	}
+	for i := 0; i < 8; i++ {
+		var sx, sy, sz float64
+		for j := 0; j < 4; j++ {
+			sx += hourgam[i][j] * hx[j]
+			sy += hourgam[i][j] * hy[j]
+			sz += hourgam[i][j] * hz[j]
+		}
+		hgfx[i] = coefficient * sx
+		hgfy[i] = coefficient * sy
+		hgfz[i] = coefficient * sz
+	}
+}
+
+// areaFace returns the squared-area quantity LULESH uses for the element
+// characteristic length of one quadrilateral face.
+func areaFace(x0, x1, x2, x3, y0, y1, y2, y3, z0, z1, z2, z3 float64) float64 {
+	fx := (x2 - x0) - (x3 - x1)
+	fy := (y2 - y0) - (y3 - y1)
+	fz := (z2 - z0) - (z3 - z1)
+	gx := (x2 - x0) + (x3 - x1)
+	gy := (y2 - y0) + (y3 - y1)
+	gz := (z2 - z0) + (z3 - z1)
+	return (fx*fx+fy*fy+fz*fz)*(gx*gx+gy*gy+gz*gz) - math.Pow(fx*gx+fy*gy+fz*gz, 2)
+}
+
+// CharacteristicLength returns the element characteristic length
+// used by the Courant condition. Port of LULESH
+// CalcElemCharacteristicLength.
+func CharacteristicLength(x, y, z *[8]float64, volume float64) float64 {
+	var charLength float64
+	faces := [6][4]int{
+		{0, 1, 2, 3}, {4, 5, 6, 7}, {0, 1, 5, 4},
+		{1, 2, 6, 5}, {2, 3, 7, 6}, {3, 0, 4, 7},
+	}
+	for _, f := range faces {
+		a := areaFace(
+			x[f[0]], x[f[1]], x[f[2]], x[f[3]],
+			y[f[0]], y[f[1]], y[f[2]], y[f[3]],
+			z[f[0]], z[f[1]], z[f[2]], z[f[3]])
+		if a > charLength {
+			charLength = a
+		}
+	}
+	return 4 * volume / math.Sqrt(charLength)
+}

@@ -1,0 +1,92 @@
+package hexelem
+
+import (
+	"math"
+	"testing"
+)
+
+// The deep validation of these operators (finite-difference derivative
+// checks, invariances, hourglass orthogonality) lives in
+// internal/lulesh/elem_test.go, which exercises them through the LULESH
+// bindings; this file covers the exported API directly.
+
+func cube() (x, y, z [8]float64) {
+	x = [8]float64{0, 1, 1, 0, 0, 1, 1, 0}
+	y = [8]float64{0, 0, 1, 1, 0, 0, 1, 1}
+	z = [8]float64{0, 0, 0, 0, 1, 1, 1, 1}
+	return
+}
+
+func TestVolumeAndJacobianAgreeOnCube(t *testing.T) {
+	x, y, z := cube()
+	var b [3][8]float64
+	vj := ShapeFunctionDerivatives(&x, &y, &z, &b)
+	ve := Volume(&x, &y, &z)
+	if math.Abs(vj-1) > 1e-12 || math.Abs(ve-1) > 1e-12 {
+		t.Errorf("volumes %v %v", vj, ve)
+	}
+}
+
+func TestBMatrixPartitionOfNothing(t *testing.T) {
+	// Shape-function derivative weights sum to zero per dimension
+	// (translating the element does not change its volume).
+	x, y, z := cube()
+	for i := range x {
+		x[i] += 0.1 * y[i] // shear to make it non-trivial
+	}
+	var b [3][8]float64
+	ShapeFunctionDerivatives(&x, &y, &z, &b)
+	for dim := 0; dim < 3; dim++ {
+		var s float64
+		for i := 0; i < 8; i++ {
+			s += b[dim][i]
+		}
+		if math.Abs(s) > 1e-12 {
+			t.Errorf("dim %d weights sum to %v", dim, s)
+		}
+	}
+}
+
+func TestVolumeDerivativeSumZero(t *testing.T) {
+	x, y, z := cube()
+	var dvdx, dvdy, dvdz [8]float64
+	VolumeDerivative(&x, &y, &z, &dvdx, &dvdy, &dvdz)
+	var sx, sy, sz float64
+	for i := 0; i < 8; i++ {
+		sx += dvdx[i]
+		sy += dvdy[i]
+		sz += dvdz[i]
+	}
+	if math.Abs(sx)+math.Abs(sy)+math.Abs(sz) > 1e-12 {
+		t.Errorf("derivative sums %v %v %v", sx, sy, sz)
+	}
+}
+
+func TestCharacteristicLengthAndGradient(t *testing.T) {
+	x, y, z := cube()
+	if l := CharacteristicLength(&x, &y, &z, 1); math.Abs(l-1) > 1e-12 {
+		t.Errorf("length %v", l)
+	}
+	var b [3][8]float64
+	detJ := ShapeFunctionDerivatives(&x, &y, &z, &b)
+	var xd, yd, zd [8]float64
+	for i := range xd {
+		xd[i] = 2 * x[i]
+	}
+	dxx, dyy, dzz := VelocityGradient(&xd, &yd, &zd, &b, detJ)
+	if math.Abs(dxx-2) > 1e-12 || dyy != 0 || dzz != 0 {
+		t.Errorf("gradient %v %v %v", dxx, dyy, dzz)
+	}
+}
+
+func TestHourglassGammaOrthogonalToConstants(t *testing.T) {
+	for i, g := range HourglassGamma {
+		var s float64
+		for _, v := range g {
+			s += v
+		}
+		if s != 0 {
+			t.Errorf("gamma[%d] sums to %v", i, s)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Package lulesh is a Go mini-port of the LULESH 2.0 shock-hydrodynamics
+// proxy application (Karlin et al.), built as the third evaluation
+// substrate of the SPRAY paper (§VI-C). It implements the Sedov blast
+// problem on the hexahedral mesh from internal/mesh with the real LULESH
+// element kernels: mean-quadrature stress integration and
+// Flanagan–Belytschko hourglass control (whose scatter of corner forces
+// to shared nodes is exactly the sparse reduction the paper studies),
+// velocity-gradient kinematics, the monotonic limited artificial
+// viscosity, and the three-pass gamma-law energy/pressure update. The
+// main simplifications vs. LULESH 2.0 are single-material/single-region
+// state (no region cost model) and no MPI decomposition.
+//
+// The per-element geometry operators live in internal/hexelem (shared
+// with the FEM assembly substrate); this file binds them under the
+// LULESH routine names used throughout the package.
+package lulesh
+
+import "spray/internal/hexelem"
+
+// calcElemShapeFunctionDerivatives is LULESH CalcElemShapeFunctionDerivatives.
+func calcElemShapeFunctionDerivatives(x, y, z *[8]float64, b *[3][8]float64) float64 {
+	return hexelem.ShapeFunctionDerivatives(x, y, z, b)
+}
+
+// sumElemStressesToNodeForces is LULESH SumElemStressesToNodeForces.
+func sumElemStressesToNodeForces(b *[3][8]float64, sigxx, sigyy, sigzz float64, fx, fy, fz *[8]float64) {
+	hexelem.SumStressesToNodeForces(b, sigxx, sigyy, sigzz, fx, fy, fz)
+}
+
+// calcElemVolume is LULESH CalcElemVolume.
+func calcElemVolume(x, y, z *[8]float64) float64 { return hexelem.Volume(x, y, z) }
+
+// calcElemVolumeDerivative is LULESH CalcElemVolumeDerivative.
+func calcElemVolumeDerivative(x, y, z *[8]float64, dvdx, dvdy, dvdz *[8]float64) {
+	hexelem.VolumeDerivative(x, y, z, dvdx, dvdy, dvdz)
+}
+
+// hourglassGamma holds the four Flanagan–Belytschko hourglass base vectors.
+var hourglassGamma = hexelem.HourglassGamma
+
+// calcElemHourglassForce is LULESH CalcElemFBHourglassForce.
+func calcElemHourglassForce(xd, yd, zd *[8]float64, hourgam *[8][4]float64, coefficient float64,
+	hgfx, hgfy, hgfz *[8]float64) {
+	hexelem.HourglassForce(xd, yd, zd, hourgam, coefficient, hgfx, hgfy, hgfz)
+}
+
+// calcElemCharacteristicLength is LULESH CalcElemCharacteristicLength.
+func calcElemCharacteristicLength(x, y, z *[8]float64, volume float64) float64 {
+	return hexelem.CharacteristicLength(x, y, z, volume)
+}
+
+// calcElemVelocityGradient is LULESH CalcElemVelocityGradient (principal
+// strains only).
+func calcElemVelocityGradient(xd, yd, zd *[8]float64, b *[3][8]float64, detJ float64) (dxx, dyy, dzz float64) {
+	return hexelem.VelocityGradient(xd, yd, zd, b, detJ)
+}

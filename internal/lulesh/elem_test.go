@@ -1,0 +1,257 @@
+package lulesh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// unitCube returns the corner coordinates of the axis-aligned unit cube
+// in LULESH corner order.
+func unitCube() (x, y, z [8]float64) {
+	x = [8]float64{0, 1, 1, 0, 0, 1, 1, 0}
+	y = [8]float64{0, 0, 1, 1, 0, 0, 1, 1}
+	z = [8]float64{0, 0, 0, 0, 1, 1, 1, 1}
+	return
+}
+
+// perturb jiggles cube corners to make a general (still convex-ish) hex.
+func perturb(rng *rand.Rand, amp float64) (x, y, z [8]float64) {
+	x, y, z = unitCube()
+	for i := 0; i < 8; i++ {
+		x[i] += amp * (rng.Float64() - 0.5)
+		y[i] += amp * (rng.Float64() - 0.5)
+		z[i] += amp * (rng.Float64() - 0.5)
+	}
+	return
+}
+
+func TestCalcElemVolumeUnitCube(t *testing.T) {
+	x, y, z := unitCube()
+	if v := calcElemVolume(&x, &y, &z); math.Abs(v-1) > 1e-12 {
+		t.Errorf("unit cube volume = %v", v)
+	}
+}
+
+func TestCalcElemVolumeScaledBox(t *testing.T) {
+	x, y, z := unitCube()
+	for i := range x {
+		x[i] *= 2
+		y[i] *= 3
+		z[i] *= 0.5
+	}
+	if v := calcElemVolume(&x, &y, &z); math.Abs(v-3) > 1e-12 {
+		t.Errorf("2x3x0.5 box volume = %v, want 3", v)
+	}
+}
+
+func TestCalcElemVolumeTranslationRotationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y, z := perturb(rng, 0.3)
+	v0 := calcElemVolume(&x, &y, &z)
+	// Translate.
+	var xt, yt, zt [8]float64
+	for i := 0; i < 8; i++ {
+		xt[i], yt[i], zt[i] = x[i]+5, y[i]-3, z[i]+11
+	}
+	if v := calcElemVolume(&xt, &yt, &zt); math.Abs(v-v0) > 1e-10 {
+		t.Errorf("translation changed volume: %v vs %v", v, v0)
+	}
+	// Rotate 90° about z: (x,y) -> (-y,x).
+	for i := 0; i < 8; i++ {
+		xt[i], yt[i], zt[i] = -y[i], x[i], z[i]
+	}
+	if v := calcElemVolume(&xt, &yt, &zt); math.Abs(v-v0) > 1e-10 {
+		t.Errorf("rotation changed volume: %v vs %v", v, v0)
+	}
+}
+
+func TestShapeFunctionDerivativeVolumeMatchesExactOnParallelepipeds(t *testing.T) {
+	// For affine elements (parallelepipeds) the Jacobian volume equals
+	// the exact volume.
+	x, y, z := unitCube()
+	// Shear: x += 0.3*y, y += 0.1*z (volume preserved = 1).
+	for i := 0; i < 8; i++ {
+		x[i] += 0.3 * y[i]
+		y[i] += 0.1 * z[i]
+	}
+	var b [3][8]float64
+	vJ := calcElemShapeFunctionDerivatives(&x, &y, &z, &b)
+	vE := calcElemVolume(&x, &y, &z)
+	if math.Abs(vJ-vE) > 1e-12 || math.Abs(vE-1) > 1e-12 {
+		t.Errorf("jacobian %v vs exact %v (want 1)", vJ, vE)
+	}
+}
+
+func TestBMatrixIsVolumeGradientForAffine(t *testing.T) {
+	// On affine elements, b[0][i] = ∂V/∂x_i exactly; check against
+	// central finite differences of calcElemVolume.
+	rng := rand.New(rand.NewSource(2))
+	x, y, z := perturb(rng, 0) // exact cube: affine
+	var b [3][8]float64
+	calcElemShapeFunctionDerivatives(&x, &y, &z, &b)
+	const h = 1e-6
+	for i := 0; i < 8; i++ {
+		for dim := 0; dim < 3; dim++ {
+			coords := [3]*[8]float64{&x, &y, &z}[dim]
+			orig := coords[i]
+			coords[i] = orig + h
+			vp := calcElemVolume(&x, &y, &z)
+			coords[i] = orig - h
+			vm := calcElemVolume(&x, &y, &z)
+			coords[i] = orig
+			fd := (vp - vm) / (2 * h)
+			if math.Abs(b[dim][i]-fd) > 1e-6 {
+				t.Errorf("b[%d][%d]=%v, FD=%v", dim, i, b[dim][i], fd)
+			}
+		}
+	}
+}
+
+func TestVolumeDerivativeMatchesFiniteDifferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		x, y, z := perturb(rng, 0.25)
+		var dvdx, dvdy, dvdz [8]float64
+		calcElemVolumeDerivative(&x, &y, &z, &dvdx, &dvdy, &dvdz)
+		const h = 1e-6
+		for i := 0; i < 8; i++ {
+			check := func(coords *[8]float64, analytic float64, dim string) {
+				orig := coords[i]
+				coords[i] = orig + h
+				vp := calcElemVolume(&x, &y, &z)
+				coords[i] = orig - h
+				vm := calcElemVolume(&x, &y, &z)
+				coords[i] = orig
+				fd := (vp - vm) / (2 * h)
+				if math.Abs(analytic-fd) > 1e-5 {
+					t.Fatalf("trial %d corner %d d%s: analytic %v, FD %v", trial, i, dim, analytic, fd)
+				}
+			}
+			check(&x, dvdx[i], "x")
+			check(&y, dvdy[i], "y")
+			check(&z, dvdz[i], "z")
+		}
+	}
+}
+
+func TestStressForcesBalanceAndPressureDirection(t *testing.T) {
+	// Uniform pressure on a cube: corner forces must sum to zero (no net
+	// force) and push corners outward for positive pressure with the
+	// -sig convention sig = -p.
+	x, y, z := unitCube()
+	var b [3][8]float64
+	calcElemShapeFunctionDerivatives(&x, &y, &z, &b)
+	p := 2.0
+	sig := -p
+	var fx, fy, fz [8]float64
+	sumElemStressesToNodeForces(&b, sig, sig, sig, &fx, &fy, &fz)
+	var sx, sy, sz float64
+	for i := 0; i < 8; i++ {
+		sx += fx[i]
+		sy += fy[i]
+		sz += fz[i]
+	}
+	if math.Abs(sx)+math.Abs(sy)+math.Abs(sz) > 1e-12 {
+		t.Errorf("net force nonzero: %v %v %v", sx, sy, sz)
+	}
+	// Corner 0 is at the origin: outward means negative x,y,z forces.
+	if fx[0] >= 0 || fy[0] >= 0 || fz[0] >= 0 {
+		t.Errorf("pressure not pushing corner 0 outward: %v %v %v", fx[0], fy[0], fz[0])
+	}
+	// Corner 6 is at (1,1,1): outward means positive forces.
+	if fx[6] <= 0 || fy[6] <= 0 || fz[6] <= 0 {
+		t.Errorf("pressure not pushing corner 6 outward: %v %v %v", fx[6], fy[6], fz[6])
+	}
+}
+
+func TestHourglassForceZeroForRigidAndLinearMotion(t *testing.T) {
+	// Hourglass forces must vanish for rigid translation and for linear
+	// velocity fields (the modes hourgam is orthogonalized against).
+	x, y, z := unitCube()
+	var dvdx, dvdy, dvdz [8]float64
+	calcElemVolumeDerivative(&x, &y, &z, &dvdx, &dvdy, &dvdz)
+	vol := calcElemVolume(&x, &y, &z)
+	var hourgam [8][4]float64
+	volinv := 1.0 / vol
+	for i := 0; i < 4; i++ {
+		var hmx, hmy, hmz float64
+		for j := 0; j < 8; j++ {
+			hmx += x[j] * hourglassGamma[i][j]
+			hmy += y[j] * hourglassGamma[i][j]
+			hmz += z[j] * hourglassGamma[i][j]
+		}
+		for j := 0; j < 8; j++ {
+			hourgam[j][i] = hourglassGamma[i][j] - volinv*(dvdx[j]*hmx+dvdy[j]*hmy+dvdz[j]*hmz)
+		}
+	}
+	for name, vel := range map[string]func(i int) (float64, float64, float64){
+		"translation": func(i int) (float64, float64, float64) { return 1, -2, 3 },
+		"linear":      func(i int) (float64, float64, float64) { return 2*x[i] - y[i], z[i], x[i] + y[i] + z[i] },
+	} {
+		var xd, yd, zd, fx, fy, fz [8]float64
+		for i := 0; i < 8; i++ {
+			xd[i], yd[i], zd[i] = vel(i)
+		}
+		calcElemHourglassForce(&xd, &yd, &zd, &hourgam, -1.0, &fx, &fy, &fz)
+		for i := 0; i < 8; i++ {
+			if math.Abs(fx[i])+math.Abs(fy[i])+math.Abs(fz[i]) > 1e-10 {
+				t.Errorf("%s: hourglass force at corner %d: %v %v %v", name, i, fx[i], fy[i], fz[i])
+			}
+		}
+	}
+}
+
+func TestHourglassForceResistsHourglassMode(t *testing.T) {
+	// A pure hourglass velocity mode must be damped (negative power) by
+	// the hourglass force with a negative coefficient.
+	x, y, z := unitCube()
+	var dvdx, dvdy, dvdz [8]float64
+	calcElemVolumeDerivative(&x, &y, &z, &dvdx, &dvdy, &dvdz)
+	vol := calcElemVolume(&x, &y, &z)
+	var hourgam [8][4]float64
+	for i := 0; i < 4; i++ {
+		var hmx, hmy, hmz float64
+		for j := 0; j < 8; j++ {
+			hmx += x[j] * hourglassGamma[i][j]
+			hmy += y[j] * hourglassGamma[i][j]
+			hmz += z[j] * hourglassGamma[i][j]
+		}
+		for j := 0; j < 8; j++ {
+			hourgam[j][i] = hourglassGamma[i][j] - (dvdx[j]*hmx+dvdy[j]*hmy+dvdz[j]*hmz)/vol
+		}
+	}
+	var xd, yd, zd, fx, fy, fz [8]float64
+	for i := 0; i < 8; i++ {
+		xd[i] = hourglassGamma[0][i] // pure mode-0 hourglassing in x
+	}
+	calcElemHourglassForce(&xd, &yd, &zd, &hourgam, -0.5, &fx, &fy, &fz)
+	var power float64
+	for i := 0; i < 8; i++ {
+		power += fx[i]*xd[i] + fy[i]*yd[i] + fz[i]*zd[i]
+	}
+	if power >= 0 {
+		t.Errorf("hourglass force adds energy: power %v", power)
+	}
+}
+
+func TestCharacteristicLengthCube(t *testing.T) {
+	x, y, z := unitCube()
+	v := calcElemVolume(&x, &y, &z)
+	// areaFace returns 16A² for a square face of area A, so the unit
+	// cube gives 4V/sqrt(16) = 1 — the element edge length.
+	got := calcElemCharacteristicLength(&x, &y, &z, v)
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("characteristic length of unit cube = %v", got)
+	}
+	// Scaling the cube by s scales the length by s.
+	for i := range x {
+		x[i] *= 0.5
+		y[i] *= 0.5
+		z[i] *= 0.5
+	}
+	v = calcElemVolume(&x, &y, &z)
+	if got2 := calcElemCharacteristicLength(&x, &y, &z, v); math.Abs(got2-got*0.5) > 1e-12 {
+		t.Errorf("characteristic length does not scale linearly: %v vs %v", got2, got*0.5)
+	}
+}

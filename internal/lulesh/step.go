@@ -1,0 +1,203 @@
+package lulesh
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"spray/internal/par"
+)
+
+// dvovMax is LULESH's maximum allowed relative volume change per step,
+// the hydro time constraint.
+const dvovMax = 0.1
+
+// Step advances the simulation by one Lagrange leapfrog cycle — the
+// LULESH 2.0 loop structure: time increment, nodal phase (forces →
+// acceleration → velocity → position), element phase (kinematics → q →
+// EOS → volume update), and the time constraints for the next cycle.
+func (d *Domain) Step(t *par.Team, fs ForceScheme) error {
+	d.timeIncrement()
+	if err := d.lagrangeNodal(t, fs); err != nil {
+		return err
+	}
+	if err := d.lagrangeElements(t); err != nil {
+		return err
+	}
+	d.calcTimeConstraints(t)
+	d.Time += d.Dt
+	d.Cycle++
+	return nil
+}
+
+// Run advances until StopTime or MaxCycles, whichever comes first, and
+// returns the number of cycles executed.
+func (d *Domain) Run(t *par.Team, fs ForceScheme) (int, error) {
+	start := d.Cycle
+	for d.Time < d.Params.StopTime && d.Cycle-start < d.Params.MaxCycles {
+		if err := d.Step(t, fs); err != nil {
+			return d.Cycle - start, err
+		}
+	}
+	return d.Cycle - start, nil
+}
+
+func (d *Domain) timeIncrement() {
+	target := math.Inf(1)
+	if d.dtCourant > 0 {
+		target = d.dtCourant / 2
+	}
+	if d.dtHydro > 0 && d.dtHydro*2/3 < target {
+		target = d.dtHydro * 2 / 3
+	}
+	newdt := d.Dt
+	if target < newdt {
+		newdt = target
+	} else if target > newdt*d.Params.DtMult {
+		newdt = d.Dt * d.Params.DtMult
+	} else {
+		newdt = target
+	}
+	// Do not step past the stop time.
+	if remaining := d.Params.StopTime - d.Time; newdt > remaining && remaining > 0 {
+		newdt = remaining
+	}
+	d.Dt = newdt
+}
+
+func (d *Domain) lagrangeNodal(t *par.Team, fs ForceScheme) error {
+	if err := d.calcForceForNodes(t, fs); err != nil {
+		return err
+	}
+
+	// CalcAccelerationForNodes.
+	par.ParallelFor(t, 0, d.Mesh.NumNode, par.Static(), func(tid, from, to int) {
+		for n := from; n < to; n++ {
+			d.XDD[n] = d.FX[n] / d.NodalMass[n]
+			d.YDD[n] = d.FY[n] / d.NodalMass[n]
+			d.ZDD[n] = d.FZ[n] / d.NodalMass[n]
+		}
+	})
+
+	// ApplyAccelerationBoundaryConditionsForNodes: symmetry planes.
+	for _, n := range d.Mesh.SymmX {
+		d.XDD[n] = 0
+	}
+	for _, n := range d.Mesh.SymmY {
+		d.YDD[n] = 0
+	}
+	for _, n := range d.Mesh.SymmZ {
+		d.ZDD[n] = 0
+	}
+
+	// CalcVelocityForNodes + CalcPositionForNodes.
+	dt, ucut := d.Dt, d.Params.UCut
+	par.ParallelFor(t, 0, d.Mesh.NumNode, par.Static(), func(tid, from, to int) {
+		for n := from; n < to; n++ {
+			xd := d.XD[n] + d.XDD[n]*dt
+			yd := d.YD[n] + d.YDD[n]*dt
+			zd := d.ZD[n] + d.ZDD[n]*dt
+			if math.Abs(xd) < ucut {
+				xd = 0
+			}
+			if math.Abs(yd) < ucut {
+				yd = 0
+			}
+			if math.Abs(zd) < ucut {
+				zd = 0
+			}
+			d.XD[n], d.YD[n], d.ZD[n] = xd, yd, zd
+			d.X[n] += xd * dt
+			d.Y[n] += yd * dt
+			d.Z[n] += zd * dt
+		}
+	})
+	return nil
+}
+
+func (d *Domain) lagrangeElements(t *par.Team) error {
+	var badElem atomic.Int64
+	badElem.Store(-1)
+
+	// CalcKinematicsForElems: new volumes from end-of-step positions,
+	// velocity gradient at half-step positions — the LULESH scheme.
+	dt := d.Dt
+	par.ParallelFor(t, 0, d.Mesh.NumElem, par.Static(), func(tid, from, to int) {
+		var x, y, z, xd, yd, zd [8]float64
+		var b [3][8]float64
+		for e := from; e < to; e++ {
+			d.collectCoords(e, &x, &y, &z)
+			vol := calcElemVolume(&x, &y, &z)
+			vnew := vol / d.VolO[e]
+			if vnew <= 0 {
+				badElem.CompareAndSwap(-1, int64(e))
+				vnew = d.V[e] // keep state sane; the error aborts the step
+			}
+			d.vnew[e] = vnew
+			d.Delv[e] = vnew - d.V[e]
+			d.Arealg[e] = calcElemCharacteristicLength(&x, &y, &z, vol)
+
+			// Shift corners back half a step and take the trace of the
+			// velocity gradient there (LULESH CalcKinematicsForElems).
+			d.collectVelocities(e, &xd, &yd, &zd)
+			for c := 0; c < 8; c++ {
+				x[c] -= 0.5 * dt * xd[c]
+				y[c] -= 0.5 * dt * yd[c]
+				z[c] -= 0.5 * dt * zd[c]
+			}
+			detJ := calcElemShapeFunctionDerivatives(&x, &y, &z, &b)
+			dxx, dyy, dzz := calcElemVelocityGradient(&xd, &yd, &zd, &b, detJ)
+			d.VDOV[e] = dxx + dyy + dzz
+		}
+	})
+	if e := badElem.Load(); e >= 0 {
+		return fmt.Errorf("lulesh: element %d inverted (non-positive volume) at cycle %d", e, d.Cycle)
+	}
+
+	// CalcQForElems: monotonic Q gradients, then the neighbor-limited
+	// region pass; CalcEnergyForElems/UpdateVolumes in
+	// applyMaterialProperties — all straight LULESH ports (qeos.go).
+	d.calcMonotonicQGradients(t)
+	d.calcMonotonicQRegion(t)
+	return d.applyMaterialProperties(t)
+}
+
+// calcTimeConstraints computes the Courant and hydro constraints for the
+// next cycle with per-thread partial minima — a scalar reduction, which
+// OpenMP and Go handle fine without SPRAY (SPRAY targets array
+// reductions).
+func (d *Domain) calcTimeConstraints(t *par.Team) {
+	type constraints struct{ courant, hydro float64 }
+	inf := constraints{math.Inf(1), math.Inf(1)}
+	qqc2 := 64.0 * d.Params.QQC * d.Params.QQC
+	c := par.ScalarReduce(t, 0, d.Mesh.NumElem, par.Static(), inf,
+		func(acc constraints, from, to int) constraints {
+			for e := from; e < to; e++ {
+				vdov := d.VDOV[e]
+				if vdov == 0 {
+					continue
+				}
+				dtf := d.SS[e] * d.SS[e]
+				if vdov < 0 {
+					dtf += qqc2 * d.Arealg[e] * d.Arealg[e] * vdov * vdov
+				}
+				dtf = d.Arealg[e] / math.Sqrt(dtf)
+				if dtf < acc.courant {
+					acc.courant = dtf
+				}
+				if dth := dvovMax / (math.Abs(vdov) + 1e-20); dth < acc.hydro {
+					acc.hydro = dth
+				}
+			}
+			return acc
+		},
+		func(a, b constraints) constraints {
+			return constraints{math.Min(a.courant, b.courant), math.Min(a.hydro, b.hydro)}
+		})
+	if !math.IsInf(c.courant, 1) {
+		d.dtCourant = c.courant * d.Params.CFL * 2 // halved again in timeIncrement
+	}
+	if !math.IsInf(c.hydro, 1) {
+		d.dtHydro = c.hydro
+	}
+}

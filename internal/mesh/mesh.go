@@ -1,0 +1,192 @@
+// Package mesh provides the unstructured-view hexahedral mesh substrate
+// for the LULESH proxy application: a regular edge³ arrangement of
+// hexahedral elements stored the way LULESH stores it — an explicit
+// element→node connectivity list ("nodelist") that the solver treats as
+// unstructured, plus the inverse node→element-corner adjacency that the
+// original LULESH parallelization scheme needs for its gather sweep.
+package mesh
+
+import "fmt"
+
+// CornersPerElem is the number of nodes of a hexahedral element.
+const CornersPerElem = 8
+
+// Hex is a mesh of edge³ hexahedral elements on (edge+1)³ nodes spanning
+// a cube of the given physical side length.
+type Hex struct {
+	EdgeElems int // elements per edge
+	EdgeNodes int // nodes per edge = EdgeElems+1
+	NumElem   int
+	NumNode   int
+
+	// NodeList holds the 8 node ids of element e at
+	// NodeList[8e .. 8e+8) in the standard LULESH corner order:
+	// (i,j,k) (i+1,j,k) (i+1,j+1,k) (i,j+1,k) then the k+1 plane.
+	NodeList []int32
+
+	// X, Y, Z are the node coordinates.
+	X, Y, Z []float64
+
+	// SymmX, SymmY, SymmZ list the node ids on the x=0, y=0 and z=0
+	// symmetry planes (the boundary conditions of the Sedov problem).
+	SymmX, SymmY, SymmZ []int32
+
+	// NodeElemStart/NodeElemCornerList is the inverse connectivity:
+	// the element corners touching node n are
+	// NodeElemCornerList[NodeElemStart[n] .. NodeElemStart[n+1]),
+	// each encoded as 8*elem + corner. This is the structure the
+	// original LULESH force scheme gathers through.
+	NodeElemStart      []int32
+	NodeElemCornerList []int32
+}
+
+// NewHex builds the mesh for edgeElems elements per side over a cube with
+// physical side length sideLen.
+func NewHex(edgeElems int, sideLen float64) *Hex {
+	if edgeElems < 1 {
+		panic(fmt.Sprintf("mesh: need at least one element per edge, got %d", edgeElems))
+	}
+	en := edgeElems + 1
+	m := &Hex{
+		EdgeElems: edgeElems,
+		EdgeNodes: en,
+		NumElem:   edgeElems * edgeElems * edgeElems,
+		NumNode:   en * en * en,
+	}
+
+	// Node coordinates, lexicographic (x fastest), matching LULESH.
+	m.X = make([]float64, m.NumNode)
+	m.Y = make([]float64, m.NumNode)
+	m.Z = make([]float64, m.NumNode)
+	h := sideLen / float64(edgeElems)
+	idx := 0
+	for pz := 0; pz < en; pz++ {
+		for py := 0; py < en; py++ {
+			for px := 0; px < en; px++ {
+				m.X[idx] = h * float64(px)
+				m.Y[idx] = h * float64(py)
+				m.Z[idx] = h * float64(pz)
+				idx++
+			}
+		}
+	}
+
+	// Element connectivity.
+	m.NodeList = make([]int32, CornersPerElem*m.NumElem)
+	e := 0
+	for pz := 0; pz < edgeElems; pz++ {
+		for py := 0; py < edgeElems; py++ {
+			for px := 0; px < edgeElems; px++ {
+				n0 := int32(pz*en*en + py*en + px)
+				lnl := m.NodeList[CornersPerElem*e : CornersPerElem*e+8]
+				lnl[0] = n0
+				lnl[1] = n0 + 1
+				lnl[2] = n0 + int32(en) + 1
+				lnl[3] = n0 + int32(en)
+				lnl[4] = n0 + int32(en*en)
+				lnl[5] = n0 + int32(en*en) + 1
+				lnl[6] = n0 + int32(en*en+en) + 1
+				lnl[7] = n0 + int32(en*en+en)
+				e++
+			}
+		}
+	}
+
+	// Symmetry plane node sets.
+	for pz := 0; pz < en; pz++ {
+		for py := 0; py < en; py++ {
+			for px := 0; px < en; px++ {
+				n := int32(pz*en*en + py*en + px)
+				if px == 0 {
+					m.SymmX = append(m.SymmX, n)
+				}
+				if py == 0 {
+					m.SymmY = append(m.SymmY, n)
+				}
+				if pz == 0 {
+					m.SymmZ = append(m.SymmZ, n)
+				}
+			}
+		}
+	}
+
+	m.buildInverseConnectivity()
+	return m
+}
+
+// buildInverseConnectivity constructs the node→element-corner lists.
+func (m *Hex) buildInverseConnectivity() {
+	counts := make([]int32, m.NumNode+1)
+	for _, n := range m.NodeList {
+		counts[n+1]++
+	}
+	for i := 0; i < m.NumNode; i++ {
+		counts[i+1] += counts[i]
+	}
+	m.NodeElemStart = counts
+	m.NodeElemCornerList = make([]int32, len(m.NodeList))
+	cursor := make([]int32, m.NumNode)
+	copy(cursor, counts[:m.NumNode])
+	for c, n := range m.NodeList {
+		m.NodeElemCornerList[cursor[n]] = int32(c)
+		cursor[n]++
+	}
+}
+
+// ElemNodes returns the 8 node ids of element e as a slice view into
+// NodeList (do not mutate).
+func (m *Hex) ElemNodes(e int) []int32 {
+	return m.NodeList[CornersPerElem*e : CornersPerElem*e+8]
+}
+
+// CollectCoords gathers the corner coordinates of element e into the
+// provided arrays.
+func (m *Hex) CollectCoords(e int, x, y, z *[8]float64) {
+	nl := m.ElemNodes(e)
+	for c, n := range nl {
+		x[c] = m.X[n]
+		y[c] = m.Y[n]
+		z[c] = m.Z[n]
+	}
+}
+
+// Validate checks structural invariants of the mesh and the inverse
+// connectivity; used by the test suite.
+func (m *Hex) Validate() error {
+	if len(m.NodeList) != CornersPerElem*m.NumElem {
+		return fmt.Errorf("mesh: NodeList length %d for %d elements", len(m.NodeList), m.NumElem)
+	}
+	for _, n := range m.NodeList {
+		if n < 0 || int(n) >= m.NumNode {
+			return fmt.Errorf("mesh: node id %d out of range", n)
+		}
+	}
+	// Inverse connectivity must list each corner exactly once.
+	seen := make([]bool, len(m.NodeList))
+	for n := 0; n < m.NumNode; n++ {
+		for k := m.NodeElemStart[n]; k < m.NodeElemStart[n+1]; k++ {
+			c := m.NodeElemCornerList[k]
+			if c < 0 || int(c) >= len(m.NodeList) {
+				return fmt.Errorf("mesh: corner id %d out of range", c)
+			}
+			if m.NodeList[c] != int32(n) {
+				return fmt.Errorf("mesh: corner %d listed under node %d but belongs to node %d", c, n, m.NodeList[c])
+			}
+			if seen[c] {
+				return fmt.Errorf("mesh: corner %d listed twice", c)
+			}
+			seen[c] = true
+		}
+	}
+	for c, s := range seen {
+		if !s {
+			return fmt.Errorf("mesh: corner %d missing from inverse connectivity", c)
+		}
+	}
+	want := m.EdgeNodes * m.EdgeNodes
+	if len(m.SymmX) != want || len(m.SymmY) != want || len(m.SymmZ) != want {
+		return fmt.Errorf("mesh: symmetry plane sizes %d/%d/%d, want %d",
+			len(m.SymmX), len(m.SymmY), len(m.SymmZ), want)
+	}
+	return nil
+}

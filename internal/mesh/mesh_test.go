@@ -1,0 +1,115 @@
+package mesh
+
+import "testing"
+
+func TestNewHexCounts(t *testing.T) {
+	for _, edge := range []int{1, 2, 3, 7} {
+		m := NewHex(edge, 1.0)
+		if m.NumElem != edge*edge*edge {
+			t.Errorf("edge %d: NumElem=%d", edge, m.NumElem)
+		}
+		en := edge + 1
+		if m.NumNode != en*en*en {
+			t.Errorf("edge %d: NumNode=%d", edge, m.NumNode)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("edge %d: %v", edge, err)
+		}
+	}
+}
+
+func TestNewHexPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHex(0) did not panic")
+		}
+	}()
+	NewHex(0, 1)
+}
+
+func TestCoordinatesSpanCube(t *testing.T) {
+	m := NewHex(4, 2.0)
+	var maxX, maxY, maxZ float64
+	for i := 0; i < m.NumNode; i++ {
+		if m.X[i] > maxX {
+			maxX = m.X[i]
+		}
+		if m.Y[i] > maxY {
+			maxY = m.Y[i]
+		}
+		if m.Z[i] > maxZ {
+			maxZ = m.Z[i]
+		}
+		if m.X[i] < 0 || m.Y[i] < 0 || m.Z[i] < 0 {
+			t.Fatalf("negative coordinate at node %d", i)
+		}
+	}
+	if maxX != 2 || maxY != 2 || maxZ != 2 {
+		t.Errorf("cube extent %v %v %v, want 2", maxX, maxY, maxZ)
+	}
+}
+
+func TestElemNodesGeometry(t *testing.T) {
+	// For element 0 of a 2³ mesh the corner order must follow the
+	// LULESH convention: bottom face counterclockwise, then top face.
+	m := NewHex(2, 2.0)
+	nl := m.ElemNodes(0)
+	wantCoords := [8][3]float64{
+		{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+		{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1},
+	}
+	for c, n := range nl {
+		got := [3]float64{m.X[n], m.Y[n], m.Z[n]}
+		if got != wantCoords[c] {
+			t.Errorf("corner %d at %v, want %v", c, got, wantCoords[c])
+		}
+	}
+}
+
+func TestCornerSharingCounts(t *testing.T) {
+	// In a 2³ mesh the center node is shared by all 8 elements; corner
+	// nodes of the cube belong to exactly 1.
+	m := NewHex(2, 1.0)
+	counts := make(map[int]int)
+	for n := 0; n < m.NumNode; n++ {
+		deg := int(m.NodeElemStart[n+1] - m.NodeElemStart[n])
+		counts[deg]++
+	}
+	if counts[8] != 1 {
+		t.Errorf("center-degree-8 nodes: %d, want 1", counts[8])
+	}
+	if counts[1] != 8 {
+		t.Errorf("corner-degree-1 nodes: %d, want 8", counts[1])
+	}
+}
+
+func TestCollectCoords(t *testing.T) {
+	m := NewHex(3, 3.0)
+	var x, y, z [8]float64
+	m.CollectCoords(5, &x, &y, &z)
+	nl := m.ElemNodes(5)
+	for c := 0; c < 8; c++ {
+		if x[c] != m.X[nl[c]] || y[c] != m.Y[nl[c]] || z[c] != m.Z[nl[c]] {
+			t.Fatalf("corner %d mismatch", c)
+		}
+	}
+}
+
+func TestSymmetryPlanes(t *testing.T) {
+	m := NewHex(3, 1.0)
+	for _, n := range m.SymmX {
+		if m.X[n] != 0 {
+			t.Errorf("SymmX node %d has x=%v", n, m.X[n])
+		}
+	}
+	for _, n := range m.SymmY {
+		if m.Y[n] != 0 {
+			t.Errorf("SymmY node %d has y=%v", n, m.Y[n])
+		}
+	}
+	for _, n := range m.SymmZ {
+		if m.Z[n] != 0 {
+			t.Errorf("SymmZ node %d has z=%v", n, m.Z[n])
+		}
+	}
+}

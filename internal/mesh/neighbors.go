@@ -1,0 +1,102 @@
+package mesh
+
+// Element face-adjacency and boundary conditions, the connectivity the
+// LULESH monotonic artificial-viscosity limiter consumes: each element
+// knows its neighbor across each of the six faces (ξ−, ξ+, η−, η+, ζ−,
+// ζ+ in LULESH naming, i.e. −x, +x, −y, +y, −z, +z here) and a bitmask
+// describing which of its faces lie on a domain boundary and of which
+// kind (symmetry plane or free surface).
+
+// Boundary-condition bits per element face, matching LULESH's elemBC
+// encoding conceptually (one symm and one free bit per face).
+const (
+	XiMSymm = 1 << iota
+	XiMFree
+	XiPSymm
+	XiPFree
+	EtaMSymm
+	EtaMFree
+	EtaPSymm
+	EtaPFree
+	ZetaMSymm
+	ZetaMFree
+	ZetaPSymm
+	ZetaPFree
+)
+
+// Neighbors holds face adjacency for every element of a Hex mesh.
+type Neighbors struct {
+	// XiM etc. give the element id across the face, or the element's
+	// own id on a boundary face (the LULESH convention — the BC mask
+	// decides how the limiter treats it).
+	XiM, XiP     []int32
+	EtaM, EtaP   []int32
+	ZetaM, ZetaP []int32
+	// BC is the per-element boundary mask.
+	BC []int32
+}
+
+// BuildNeighbors computes face adjacency and the Sedov-problem boundary
+// conditions: symmetry on the −x/−y/−z domain faces, free surface on
+// +x/+y/+z, matching the LULESH setup.
+func (m *Hex) BuildNeighbors() *Neighbors {
+	ee := m.EdgeElems
+	n := &Neighbors{
+		XiM: make([]int32, m.NumElem), XiP: make([]int32, m.NumElem),
+		EtaM: make([]int32, m.NumElem), EtaP: make([]int32, m.NumElem),
+		ZetaM: make([]int32, m.NumElem), ZetaP: make([]int32, m.NumElem),
+		BC: make([]int32, m.NumElem),
+	}
+	e := 0
+	for pz := 0; pz < ee; pz++ {
+		for py := 0; py < ee; py++ {
+			for px := 0; px < ee; px++ {
+				id := int32(e)
+				var bc int32
+
+				if px > 0 {
+					n.XiM[e] = id - 1
+				} else {
+					n.XiM[e] = id
+					bc |= XiMSymm
+				}
+				if px < ee-1 {
+					n.XiP[e] = id + 1
+				} else {
+					n.XiP[e] = id
+					bc |= XiPFree
+				}
+
+				if py > 0 {
+					n.EtaM[e] = id - int32(ee)
+				} else {
+					n.EtaM[e] = id
+					bc |= EtaMSymm
+				}
+				if py < ee-1 {
+					n.EtaP[e] = id + int32(ee)
+				} else {
+					n.EtaP[e] = id
+					bc |= EtaPFree
+				}
+
+				if pz > 0 {
+					n.ZetaM[e] = id - int32(ee*ee)
+				} else {
+					n.ZetaM[e] = id
+					bc |= ZetaMSymm
+				}
+				if pz < ee-1 {
+					n.ZetaP[e] = id + int32(ee*ee)
+				} else {
+					n.ZetaP[e] = id
+					bc |= ZetaPFree
+				}
+
+				n.BC[e] = bc
+				e++
+			}
+		}
+	}
+	return n
+}

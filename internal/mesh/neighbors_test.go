@@ -1,0 +1,70 @@
+package mesh
+
+import "testing"
+
+func TestBuildNeighborsAdjacency(t *testing.T) {
+	const ee = 3
+	m := NewHex(ee, 1)
+	nb := m.BuildNeighbors()
+	elem := func(i, j, k int) int32 { return int32(k*ee*ee + j*ee + i) }
+
+	// Interior element (1,1,1) has all six proper neighbors and no BC.
+	c := elem(1, 1, 1)
+	if nb.BC[c] != 0 {
+		t.Errorf("interior BC=%b", nb.BC[c])
+	}
+	if nb.XiM[c] != elem(0, 1, 1) || nb.XiP[c] != elem(2, 1, 1) {
+		t.Errorf("xi neighbors %d/%d", nb.XiM[c], nb.XiP[c])
+	}
+	if nb.EtaM[c] != elem(1, 0, 1) || nb.EtaP[c] != elem(1, 2, 1) {
+		t.Errorf("eta neighbors %d/%d", nb.EtaM[c], nb.EtaP[c])
+	}
+	if nb.ZetaM[c] != elem(1, 1, 0) || nb.ZetaP[c] != elem(1, 1, 2) {
+		t.Errorf("zeta neighbors %d/%d", nb.ZetaM[c], nb.ZetaP[c])
+	}
+
+	// Origin corner: symmetry on all minus faces, self-reference.
+	o := elem(0, 0, 0)
+	wantBC := int32(XiMSymm | EtaMSymm | ZetaMSymm)
+	if nb.BC[o] != wantBC {
+		t.Errorf("origin BC=%b, want %b", nb.BC[o], wantBC)
+	}
+	if nb.XiM[o] != o || nb.EtaM[o] != o || nb.ZetaM[o] != o {
+		t.Errorf("origin minus-neighbors not self: %d %d %d", nb.XiM[o], nb.EtaM[o], nb.ZetaM[o])
+	}
+
+	// Far corner: free on all plus faces.
+	f := elem(ee-1, ee-1, ee-1)
+	wantBC = int32(XiPFree | EtaPFree | ZetaPFree)
+	if nb.BC[f] != wantBC {
+		t.Errorf("far BC=%b, want %b", nb.BC[f], wantBC)
+	}
+}
+
+func TestNeighborsSymmetricRelation(t *testing.T) {
+	m := NewHex(4, 1)
+	nb := m.BuildNeighbors()
+	for e := 0; e < m.NumElem; e++ {
+		if n := nb.XiP[e]; int(n) != e && nb.XiM[n] != int32(e) {
+			t.Fatalf("xi adjacency not symmetric at %d", e)
+		}
+		if n := nb.EtaP[e]; int(n) != e && nb.EtaM[n] != int32(e) {
+			t.Fatalf("eta adjacency not symmetric at %d", e)
+		}
+		if n := nb.ZetaP[e]; int(n) != e && nb.ZetaM[n] != int32(e) {
+			t.Fatalf("zeta adjacency not symmetric at %d", e)
+		}
+	}
+}
+
+func TestSingleElementMeshAllBoundary(t *testing.T) {
+	m := NewHex(1, 1)
+	nb := m.BuildNeighbors()
+	want := int32(XiMSymm | XiPFree | EtaMSymm | EtaPFree | ZetaMSymm | ZetaPFree)
+	if nb.BC[0] != want {
+		t.Errorf("BC=%b, want %b", nb.BC[0], want)
+	}
+	if nb.XiM[0] != 0 || nb.XiP[0] != 0 {
+		t.Errorf("self-reference broken")
+	}
+}

@@ -1,0 +1,84 @@
+package par
+
+import "sync/atomic"
+
+// Chunker hands out the chunks of one loop instance according to a
+// schedule. It exists so callers that need per-thread prologue/epilogue
+// work around the chunk loop (reduction init/combine) can drive the chunk
+// iteration themselves from inside Team.Run. ParallelFor is implemented on
+// top of it. A Chunker is valid for a single loop execution.
+type Chunker struct {
+	s      Schedule
+	lo, hi int
+	n      int
+	next   atomic.Int64 // shared cursor for dynamic/guided
+}
+
+// NewChunker prepares chunk hand-out for the range [lo, hi) on a team of
+// teamSize members under schedule s.
+func NewChunker(s Schedule, lo, hi, teamSize int) *Chunker {
+	s.validate()
+	c := &Chunker{s: s, lo: lo, hi: hi, n: teamSize}
+	c.next.Store(int64(lo))
+	return c
+}
+
+// For invokes body for every chunk assigned to member tid, in hand-out
+// order. All members of the team must call For exactly once for dynamic
+// and guided schedules to distribute the full range.
+func (c *Chunker) For(tid int, body func(from, to int)) {
+	if c.hi <= c.lo {
+		return
+	}
+	switch c.s.Kind {
+	case KindStatic:
+		from, to := StaticRange(c.lo, c.hi, tid, c.n)
+		if from < to {
+			body(from, to)
+		}
+	case KindStaticChunk:
+		ch := c.s.Chunk
+		for start := c.lo + tid*ch; start < c.hi; start += c.n * ch {
+			end := start + ch
+			if end > c.hi {
+				end = c.hi
+			}
+			body(start, end)
+		}
+	case KindDynamic:
+		ch := int64(c.s.Chunk)
+		for {
+			start := c.next.Add(ch) - ch
+			if start >= int64(c.hi) {
+				return
+			}
+			end := start + ch
+			if end > int64(c.hi) {
+				end = int64(c.hi)
+			}
+			body(int(start), int(end))
+		}
+	case KindGuided:
+		minChunk := int64(c.s.Chunk)
+		size := int64(c.n)
+		for {
+			start := c.next.Load()
+			if start >= int64(c.hi) {
+				return
+			}
+			remaining := int64(c.hi) - start
+			ch := remaining / size
+			if ch < minChunk {
+				ch = minChunk
+			}
+			if !c.next.CompareAndSwap(start, start+ch) {
+				continue
+			}
+			end := start + ch
+			if end > int64(c.hi) {
+				end = int64(c.hi)
+			}
+			body(int(start), int(end))
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestTeamRunExecutesEveryMemberOnce(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		team := NewTeam(n)
+		counts := make([]atomic.Int32, n)
+		for rep := 0; rep < 3; rep++ { // reuse across regions
+			team.Run(func(tid int) { counts[tid].Add(1) })
+		}
+		for tid := range counts {
+			if got := counts[tid].Load(); got != 3 {
+				t.Errorf("n=%d tid=%d ran %d times, want 3", n, tid, got)
+			}
+		}
+		team.Close()
+	}
+}
+
+func TestTeamSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTeam(0) did not panic")
+		}
+	}()
+	NewTeam(0)
+}
+
+func TestRunAfterClosePanics(t *testing.T) {
+	team := NewTeam(2)
+	team.Close()
+	team.Close() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Error("Run after Close did not panic")
+		}
+	}()
+	team.Run(func(int) {})
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const n = 4
+	team := NewTeam(n)
+	defer team.Close()
+	var before, after atomic.Int32
+	team.Run(func(tid int) {
+		before.Add(1)
+		team.Barrier()
+		// Every member must observe all n pre-barrier increments.
+		if got := before.Load(); got != n {
+			t.Errorf("tid %d saw %d pre-barrier arrivals, want %d", tid, got, n)
+		}
+		after.Add(1)
+	})
+	if after.Load() != n {
+		t.Errorf("after=%d", after.Load())
+	}
+}
+
+func TestBarrierReusableAcrossPhases(t *testing.T) {
+	const n, phases = 3, 5
+	team := NewTeam(n)
+	defer team.Close()
+	var phase atomic.Int32
+	team.Run(func(tid int) {
+		for p := 0; p < phases; p++ {
+			if tid == 0 {
+				phase.Store(int32(p))
+			}
+			team.Barrier()
+			if got := phase.Load(); got != int32(p) {
+				t.Errorf("tid %d phase %d read %d", tid, p, got)
+			}
+			team.Barrier()
+		}
+	})
+}
+
+// coverage runs ParallelFor and checks every index in [lo,hi) is visited
+// exactly once.
+func coverage(t *testing.T, team *Team, lo, hi int, s Schedule) {
+	t.Helper()
+	n := hi - lo
+	visits := make([]atomic.Int32, n)
+	ParallelFor(team, lo, hi, s, func(tid, from, to int) {
+		if from < lo || to > hi || from > to {
+			t.Errorf("%v: chunk [%d,%d) outside [%d,%d)", s, from, to, lo, hi)
+		}
+		for i := from; i < to; i++ {
+			visits[i-lo].Add(1)
+		}
+	})
+	for i := range visits {
+		if got := visits[i].Load(); got != 1 {
+			t.Fatalf("%v: index %d visited %d times", s, lo+i, got)
+		}
+	}
+}
+
+func TestParallelForCoverageAllSchedules(t *testing.T) {
+	team := NewTeam(4)
+	defer team.Close()
+	scheds := []Schedule{
+		Static(), StaticChunk(1), StaticChunk(3), StaticChunk(100),
+		Dynamic(0), Dynamic(1), Dynamic(7), Guided(0), Guided(4),
+	}
+	ranges := [][2]int{{0, 0}, {0, 1}, {0, 4}, {0, 5}, {3, 103}, {-10, 10}, {0, 1000}}
+	for _, s := range scheds {
+		for _, r := range ranges {
+			coverage(t, team, r[0], r[1], s)
+		}
+	}
+}
+
+func TestParallelForCoverageProperty(t *testing.T) {
+	team := NewTeam(3)
+	defer team.Close()
+	f := func(loRaw, spanRaw uint16, kindRaw, chunkRaw uint8) bool {
+		lo := int(loRaw) % 500
+		hi := lo + int(spanRaw)%700
+		var s Schedule
+		switch kindRaw % 4 {
+		case 0:
+			s = Static()
+		case 1:
+			s = StaticChunk(int(chunkRaw)%64 + 1)
+		case 2:
+			s = Dynamic(int(chunkRaw) % 64)
+		default:
+			s = Guided(int(chunkRaw) % 64)
+		}
+		n := hi - lo
+		visits := make([]atomic.Int32, n)
+		ParallelFor(team, lo, hi, s, func(tid, from, to int) {
+			for i := from; i < to; i++ {
+				visits[i-lo].Add(1)
+			}
+		})
+		for i := range visits {
+			if visits[i].Load() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelForEach(t *testing.T) {
+	team := NewTeam(4)
+	defer team.Close()
+	var sum atomic.Int64
+	ParallelForEach(team, 1, 101, Dynamic(5), func(tid, i int) {
+		sum.Add(int64(i))
+	})
+	if sum.Load() != 5050 {
+		t.Errorf("sum=%d, want 5050", sum.Load())
+	}
+}
+
+func TestStaticRangePartition(t *testing.T) {
+	f := func(loRaw int16, spanRaw uint16, nRaw uint8) bool {
+		lo := int(loRaw)
+		hi := lo + int(spanRaw)
+		n := int(nRaw)%16 + 1
+		prev := lo
+		for tid := 0; tid < n; tid++ {
+			from, to := StaticRange(lo, hi, tid, n)
+			if from != prev || to < from {
+				return false
+			}
+			prev = to
+		}
+		return prev == hi || hi <= lo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticRangeBalance(t *testing.T) {
+	// Chunk sizes must differ by at most one.
+	for _, tc := range []struct{ lo, hi, n int }{{0, 100, 7}, {5, 6, 4}, {0, 3, 8}} {
+		minSz, maxSz := 1<<30, -1
+		for tid := 0; tid < tc.n; tid++ {
+			from, to := StaticRange(tc.lo, tc.hi, tid, tc.n)
+			sz := to - from
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+		}
+		if maxSz-minSz > 1 {
+			t.Errorf("%+v: chunk sizes range %d..%d", tc, minSz, maxSz)
+		}
+	}
+}
+
+func TestStaticRangeEmpty(t *testing.T) {
+	from, to := StaticRange(5, 5, 0, 4)
+	if from != to {
+		t.Errorf("empty range: [%d,%d)", from, to)
+	}
+	from, to = StaticRange(5, 3, 2, 4)
+	if from != to {
+		t.Errorf("inverted range: [%d,%d)", from, to)
+	}
+}
+
+func TestGuidedChunksShrink(t *testing.T) {
+	// With a single member, guided chunks must be non-increasing down to
+	// the minimum chunk.
+	c := NewChunker(Guided(2), 0, 1000, 1)
+	last := 1 << 30
+	c.For(0, func(from, to int) {
+		sz := to - from
+		if sz > last {
+			t.Errorf("guided chunk grew: %d after %d", sz, last)
+		}
+		if sz < 2 && to != 1000 {
+			t.Errorf("guided chunk %d below minimum", sz)
+		}
+		last = sz
+	})
+}
+
+func TestDynamicMoreThreadsThanWork(t *testing.T) {
+	team := NewTeam(8)
+	defer team.Close()
+	coverage(t, team, 0, 3, Dynamic(1))
+}
+
+func TestScheduleValidate(t *testing.T) {
+	for _, s := range []Schedule{
+		{Kind: KindStaticChunk, Chunk: 0},
+		{Kind: KindDynamic, Chunk: 0},
+		{Kind: KindGuided, Chunk: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("schedule %+v did not panic", s)
+				}
+			}()
+			NewChunker(s, 0, 10, 2)
+		}()
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	cases := map[string]Schedule{
+		"static":          Static(),
+		"static-chunk(8)": StaticChunk(8),
+		"dynamic(1)":      Dynamic(0),
+		"guided(4)":       Guided(4),
+	}
+	for want, s := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("String()=%q, want %q", got, want)
+		}
+	}
+}
+
+func TestDefaultTeam(t *testing.T) {
+	team := Default()
+	defer team.Close()
+	if team.Size() < 1 {
+		t.Errorf("default team size %d", team.Size())
+	}
+}
+
+func TestTeamRunConcurrencyIsReal(t *testing.T) {
+	// All members must be in flight simultaneously: rendezvous via
+	// WaitGroup would deadlock under sequential execution of members.
+	const n = 4
+	team := NewTeam(n)
+	defer team.Close()
+	var wg sync.WaitGroup
+	wg.Add(n)
+	team.Run(func(tid int) {
+		wg.Done()
+		wg.Wait() // returns only once every member arrived
+	})
+}
+
+func TestWorkerPanicPropagatesAndTeamSurvives(t *testing.T) {
+	team := NewTeam(4)
+	defer team.Close()
+	caught := func() (r any) {
+		defer func() { r = recover() }()
+		team.Run(func(tid int) {
+			if tid == 2 {
+				panic("boom from worker")
+			}
+		})
+		return nil
+	}()
+	if caught != "boom from worker" {
+		t.Fatalf("caught %v", caught)
+	}
+	// The team must remain usable after the panic.
+	var ran atomic.Int32
+	team.Run(func(tid int) { ran.Add(1) })
+	if ran.Load() != 4 {
+		t.Errorf("after panic: %d members ran", ran.Load())
+	}
+}
+
+func TestMasterPanicStillJoinsWorkers(t *testing.T) {
+	team := NewTeam(3)
+	defer team.Close()
+	var workersDone atomic.Int32
+	caught := func() (r any) {
+		defer func() { r = recover() }()
+		team.Run(func(tid int) {
+			if tid == 0 {
+				panic("master boom")
+			}
+			workersDone.Add(1)
+		})
+		return nil
+	}()
+	if caught != "master boom" {
+		t.Fatalf("caught %v", caught)
+	}
+	if workersDone.Load() != 2 {
+		t.Errorf("workers done: %d", workersDone.Load())
+	}
+	team.Run(func(int) {}) // still usable
+}
+
+func TestPanicValuePreserved(t *testing.T) {
+	team := NewTeam(2)
+	defer team.Close()
+	type custom struct{ code int }
+	caught := func() (r any) {
+		defer func() { r = recover() }()
+		team.Run(func(tid int) {
+			if tid == 1 {
+				panic(custom{42})
+			}
+		})
+		return nil
+	}()
+	if c, ok := caught.(custom); !ok || c.code != 42 {
+		t.Errorf("caught %#v", caught)
+	}
+}

@@ -1,0 +1,74 @@
+package par
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumFloat64(t *testing.T) {
+	team := NewTeam(4)
+	defer team.Close()
+	got := SumFloat64(team, 1, 101, func(i int) float64 { return float64(i) })
+	if got != 5050 {
+		t.Errorf("sum=%v", got)
+	}
+	if got := SumFloat64(team, 5, 5, func(int) float64 { return 1 }); got != 0 {
+		t.Errorf("empty sum=%v", got)
+	}
+}
+
+func TestMinMaxFloat64(t *testing.T) {
+	team := NewTeam(3)
+	defer team.Close()
+	vals := []float64{5, -2, 9, 3.5, -2.5, 8}
+	mn := MinFloat64(team, 0, len(vals), math.Inf(1), func(i int) float64 { return vals[i] })
+	mx := MaxFloat64(team, 0, len(vals), math.Inf(-1), func(i int) float64 { return vals[i] })
+	if mn != -2.5 || mx != 9 {
+		t.Errorf("min/max = %v/%v", mn, mx)
+	}
+	// Empty ranges keep the init.
+	if got := MinFloat64(team, 3, 3, 42, func(int) float64 { return 0 }); got != 42 {
+		t.Errorf("empty min=%v", got)
+	}
+}
+
+func TestScalarReduceDeterministicCombineOrder(t *testing.T) {
+	// Combining strings exposes the order: member 0's chunk first.
+	team := NewTeam(4)
+	defer team.Close()
+	got := ScalarReduce(team, 0, 8, Static(), "",
+		func(acc string, from, to int) string {
+			for i := from; i < to; i++ {
+				acc += string(rune('a' + i))
+			}
+			return acc
+		},
+		func(a, b string) string { return a + b })
+	if got != "abcdefgh" {
+		t.Errorf("combined %q", got)
+	}
+}
+
+func TestScalarReduceProperty(t *testing.T) {
+	team := NewTeam(5)
+	defer team.Close()
+	f := func(vals []int16) bool {
+		var want int64
+		for _, v := range vals {
+			want += int64(v)
+		}
+		got := ScalarReduce(team, 0, len(vals), Dynamic(3), int64(0),
+			func(acc int64, from, to int) int64 {
+				for i := from; i < to; i++ {
+					acc += int64(vals[i])
+				}
+				return acc
+			},
+			func(a, b int64) int64 { return a + b })
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

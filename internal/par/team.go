@@ -1,0 +1,164 @@
+// Package par is the shared-memory parallel substrate of this repository:
+// a small OpenMP-like runtime on top of goroutines. It provides a
+// persistent thread team (so repeated parallel regions, as in the LULESH
+// time loop, do not pay goroutine creation each iteration), OpenMP-style
+// loop schedules (static, static-chunked, dynamic, guided), and a reusable
+// barrier. The SPRAY paper's reducers are defined relative to exactly this
+// execution model: a region is executed by a fixed team, each member has a
+// stable integer id, and the reduction merge happens when the region ends.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Team is a fixed-size group of workers that execute parallel regions
+// together. A Team is created once and reused across regions; members are
+// identified by a thread id (tid) in [0, Size()). The calling goroutine
+// acts as member 0, mirroring the OpenMP master thread.
+type Team struct {
+	size    int
+	jobs    []chan func(tid int)
+	done    sync.WaitGroup
+	barrier *Barrier
+	closed  bool
+
+	panicMu  sync.Mutex
+	panicVal any // first panic raised by a worker during the current region
+}
+
+// NewTeam creates a team of n members. n must be positive; n == 1 yields a
+// degenerate team that runs regions on the caller without synchronization.
+func NewTeam(n int) *Team {
+	if n < 1 {
+		panic(fmt.Sprintf("par: team size must be >= 1, got %d", n))
+	}
+	t := &Team{size: n, barrier: NewBarrier(n)}
+	t.jobs = make([]chan func(int), n)
+	for tid := 1; tid < n; tid++ {
+		ch := make(chan func(int))
+		t.jobs[tid] = ch
+		go func(tid int, ch chan func(int)) {
+			for fn := range ch {
+				t.runMember(tid, fn)
+			}
+		}(tid, ch)
+	}
+	return t
+}
+
+// Default returns a team sized to the machine: GOMAXPROCS members.
+func Default() *Team { return NewTeam(runtime.GOMAXPROCS(0)) }
+
+// Size returns the number of team members.
+func (t *Team) Size() int { return t.size }
+
+// Run executes fn once per team member, concurrently, and returns when all
+// members have finished — the analogue of an OpenMP parallel region. The
+// caller runs as tid 0. Run must not be called from inside a region on the
+// same team (regions do not nest; create an inner Team for nesting).
+//
+// A panic in any member is caught, the region is still joined (so the
+// team stays usable), and the first panic value is re-raised on the
+// caller. The original worker stack trace is lost in the re-raise, as
+// with errgroup-style designs. A member that panics before reaching a
+// Barrier that other members wait on deadlocks the region — the same
+// hazard an aborting OpenMP thread poses.
+func (t *Team) Run(fn func(tid int)) {
+	if t.closed {
+		panic("par: Run on closed team")
+	}
+	t.done.Add(t.size - 1)
+	for tid := 1; tid < t.size; tid++ {
+		t.jobs[tid] <- fn
+	}
+	var masterPanic any
+	func() {
+		defer func() { masterPanic = recover() }()
+		fn(0)
+	}()
+	t.done.Wait()
+	t.panicMu.Lock()
+	workerPanic := t.panicVal
+	t.panicVal = nil
+	t.panicMu.Unlock()
+	if masterPanic != nil {
+		panic(masterPanic)
+	}
+	if workerPanic != nil {
+		panic(workerPanic)
+	}
+}
+
+// runMember executes one region on a worker, converting panics into a
+// recorded value so Run can re-raise them after the join.
+func (t *Team) runMember(tid int, fn func(int)) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.panicMu.Lock()
+			if t.panicVal == nil {
+				t.panicVal = r
+			}
+			t.panicMu.Unlock()
+		}
+		t.done.Done()
+	}()
+	fn(tid)
+}
+
+// Barrier blocks until every team member currently inside a region has
+// called it, the analogue of "#pragma omp barrier". It is only meaningful
+// when called by all members from within Run.
+func (t *Team) Barrier() { t.barrier.Wait() }
+
+// Close shuts down the worker goroutines. The team must not be used after
+// Close. Closing is idempotent.
+func (t *Team) Close() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	for tid := 1; tid < t.size; tid++ {
+		close(t.jobs[tid])
+	}
+}
+
+// Barrier is a reusable cyclic barrier for n participants.
+type Barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+// NewBarrier creates a barrier for n participants; n must be positive.
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic(fmt.Sprintf("par: barrier size must be >= 1, got %d", n))
+	}
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until n participants have called Wait for the current
+// generation, then releases them all and resets for the next generation.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,131 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"spray/internal/num"
+)
+
+// Matrix Market exchange format support (coordinate real/integer/pattern,
+// general or symmetric), enough to load the paper's s3dkt3m2 and debr
+// inputs from their published files and to export generated matrices.
+
+// ReadMatrixMarket parses a Matrix Market coordinate-format stream into a
+// CSR matrix. Symmetric and skew-symmetric storage is expanded to general
+// form; pattern matrices get unit values.
+func ReadMatrixMarket[T num.Float](r io.Reader) (*CSR[T], error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("sparse: reading MatrixMarket header: %w", err)
+	}
+	fields := strings.Fields(strings.ToLower(header))
+	if len(fields) < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+		return nil, fmt.Errorf("sparse: not a MatrixMarket matrix header: %q", strings.TrimSpace(header))
+	}
+	if fields[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket format %q (only coordinate)", fields[2])
+	}
+	valType := fields[3] // real, integer, pattern
+	switch valType {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket value type %q", valType)
+	}
+	sym := fields[4] // general, symmetric, skew-symmetric
+	switch sym {
+	case "general", "symmetric", "skew-symmetric":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket symmetry %q", sym)
+	}
+
+	// Skip comments, read the size line.
+	var rows, cols, nnz int
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil && line == "" {
+			return nil, fmt.Errorf("sparse: missing MatrixMarket size line: %w", err)
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad MatrixMarket size line %q: %w", line, err)
+		}
+		// Column ids are stored as int32 and nnz bounds allocations.
+		const maxDim = 1 << 31
+		if rows < 0 || cols < 0 || nnz < 0 || rows > maxDim || cols > maxDim {
+			return nil, fmt.Errorf("sparse: unreasonable MatrixMarket size %dx%d nnz %d", rows, cols, nnz)
+		}
+		break
+	}
+	c := NewCOO[T](rows, cols)
+	read := 0
+	for read < nnz {
+		line, err := br.ReadString('\n')
+		if err != nil && line == "" {
+			return nil, fmt.Errorf("sparse: MatrixMarket truncated after %d of %d entries: %w", read, nnz, err)
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		parts := strings.Fields(line)
+		want := 3
+		if valType == "pattern" {
+			want = 2
+		}
+		if len(parts) < want {
+			return nil, fmt.Errorf("sparse: bad MatrixMarket entry %q", line)
+		}
+		i, err1 := strconv.Atoi(parts[0])
+		j, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("sparse: bad MatrixMarket indices %q", line)
+		}
+		v := 1.0
+		if valType != "pattern" {
+			v, err = strconv.ParseFloat(parts[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sparse: bad MatrixMarket value %q", line)
+			}
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("sparse: MatrixMarket entry (%d,%d) outside %dx%d", i, j, rows, cols)
+		}
+		i, j = i-1, j-1
+		c.Add(i, j, T(v))
+		if i != j {
+			switch sym {
+			case "symmetric":
+				c.Add(j, i, T(v))
+			case "skew-symmetric":
+				c.Add(j, i, T(-v))
+			}
+		}
+		read++
+	}
+	return FromCOO(c), nil
+}
+
+// WriteMatrixMarket writes a CSR matrix in coordinate real general form.
+func WriteMatrixMarket[T num.Float](w io.Writer, a *CSR[T]) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n%d %d %d\n",
+		a.Rows, a.Cols, a.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.9g\n", i+1, a.Col[k]+1, float64(a.Val[k])); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,143 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"spray/internal/num"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := FromCOO(randomCOO(rng, 30, 40, 150))
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadMatrixMarket[float64](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rows != a.Rows || b.Cols != a.Cols || b.NNZ() != a.NNZ() {
+		t.Fatalf("shape/nnz changed: %dx%d/%d vs %dx%d/%d",
+			b.Rows, b.Cols, b.NNZ(), a.Rows, a.Cols, a.NNZ())
+	}
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	ya := make([]float64, a.Rows)
+	yb := make([]float64, a.Rows)
+	a.MulVec(x, ya)
+	b.MulVec(x, yb)
+	if d := num.MaxAbsDiff(ya, yb); d > 1e-9 {
+		t.Errorf("round-trip product diff %v", d)
+	}
+}
+
+func TestMatrixMarketSymmetricExpansion(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+% finite element stiffness, lower triangle
+3 3 4
+1 1 2.0
+2 1 -1.0
+2 2 2.0
+3 3 1.5
+`
+	a, err := ReadMatrixMarket[float64](strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 5 { // 3 diagonal + 2 mirrored off-diagonal
+		t.Errorf("NNZ=%d, want 5", a.NNZ())
+	}
+	d := denseOf(a)
+	if d[0][1] != -1 || d[1][0] != -1 {
+		t.Errorf("symmetric entries not mirrored: %v", d)
+	}
+}
+
+func TestMatrixMarketSkewSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3.0
+`
+	a, err := ReadMatrixMarket[float64](strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := denseOf(a)
+	if d[1][0] != 3 || d[0][1] != -3 {
+		t.Errorf("skew expansion wrong: %v", d)
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate pattern general
+2 3 2
+1 3
+2 1
+`
+	a, err := ReadMatrixMarket[float64](strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := denseOf(a)
+	if d[0][2] != 1 || d[1][0] != 1 {
+		t.Errorf("pattern values wrong: %v", d)
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header":     "%%NotMM matrix coordinate real general\n1 1 0\n",
+		"array format":   "%%MatrixMarket matrix array real general\n1 1\n1.0\n",
+		"complex values": "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"bad symmetry":   "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+		"truncated":      "%%MatrixMarket matrix coordinate real general\n5 5 3\n1 1 1.0\n",
+		"out of range":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+		"bad entry":      "%%MatrixMarket matrix coordinate real general\n2 2 1\nx y z\n",
+		"bad value":      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 zz\n",
+		"no size":        "%%MatrixMarket matrix coordinate real general\n% only comments\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadMatrixMarket[float64](strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestMatrixMarketCommentsAndBlankLines(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real general
+% comment one
+
+% comment two
+2 2 2
+
+1 1 1.5
+% interleaved comment
+2 2 2.5
+`
+	a, err := ReadMatrixMarket[float64](strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 2 {
+		t.Errorf("NNZ=%d", a.NNZ())
+	}
+}
+
+func TestMatrixMarketNeverPanicsOnGarbage(t *testing.T) {
+	f := func(junk string) bool {
+		// Any input may produce an error but must never panic.
+		ReadMatrixMarket[float64](strings.NewReader(junk))
+		ReadMatrixMarket[float64](strings.NewReader("%%MatrixMarket matrix coordinate real general\n" + junk))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,236 @@
+// Package sparse is the sparse linear-algebra substrate for the paper's
+// CSR transpose-matrix-vector experiment (§VI-B): COO and CSR storage,
+// CSR transposition (equivalently CSC construction), Matrix Market I/O,
+// synthetic generators matched to the evaluation matrices, and the
+// data-dependent scatter kernel y += Aᵀx that SPRAY parallelizes.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"spray/internal/num"
+)
+
+// COO is a coordinate-format sparse matrix, the assembly/interchange
+// format: unsorted (row, col, value) triples.
+type COO[T num.Float] struct {
+	Rows, Cols int
+	I, J       []int32
+	V          []T
+}
+
+// NewCOO creates an empty COO matrix with the given shape.
+func NewCOO[T num.Float](rows, cols int) *COO[T] {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sparse: negative dimensions %dx%d", rows, cols))
+	}
+	return &COO[T]{Rows: rows, Cols: cols}
+}
+
+// Add appends the entry a[i,j] += v. Duplicates are legal and are summed
+// during CSR conversion, the usual finite-element assembly convention.
+func (c *COO[T]) Add(i, j int, v T) {
+	if i < 0 || i >= c.Rows || j < 0 || j >= c.Cols {
+		panic(fmt.Sprintf("sparse: entry (%d,%d) outside %dx%d", i, j, c.Rows, c.Cols))
+	}
+	c.I = append(c.I, int32(i))
+	c.J = append(c.J, int32(j))
+	c.V = append(c.V, v)
+}
+
+// NNZ returns the number of stored triples (before duplicate folding).
+func (c *COO[T]) NNZ() int { return len(c.V) }
+
+// CSR is a compressed-sparse-row matrix: row i's entries live at
+// positions RowPtr[i] .. RowPtr[i+1] of Col/Val, with Col ascending within
+// each row. A CSR matrix read as "columns of the transpose" is a CSC
+// matrix; the package follows the paper in storing everything as CSR.
+type CSR[T num.Float] struct {
+	Rows, Cols int
+	RowPtr     []int64
+	Col        []int32
+	Val        []T
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR[T]) NNZ() int { return len(a.Val) }
+
+// Bytes returns the heap footprint of the matrix arrays.
+func (a *CSR[T]) Bytes() int64 {
+	var v T
+	return int64(len(a.RowPtr))*8 + int64(len(a.Col))*4 + int64(len(a.Val))*int64(sizeofT(v))
+}
+
+func sizeofT[T num.Float](v T) int {
+	// float32 and float64 are the only instantiations.
+	if _, ok := any(v).(float32); ok {
+		return 4
+	}
+	return 8
+}
+
+// FromCOO converts a COO matrix to CSR, summing duplicate entries and
+// sorting columns within each row.
+func FromCOO[T num.Float](c *COO[T]) *CSR[T] {
+	// Count entries per row, then bucket.
+	counts := make([]int64, c.Rows+1)
+	for _, i := range c.I {
+		counts[i+1]++
+	}
+	for r := 0; r < c.Rows; r++ {
+		counts[r+1] += counts[r]
+	}
+	rowPtr := counts // counts is now the row pointer of the un-deduped matrix
+	col := make([]int32, len(c.J))
+	val := make([]T, len(c.V))
+	cursor := make([]int64, c.Rows)
+	copy(cursor, rowPtr[:c.Rows])
+	for k := range c.I {
+		r := c.I[k]
+		p := cursor[r]
+		col[p] = c.J[k]
+		val[p] = c.V[k]
+		cursor[r] = p + 1
+	}
+	// Sort within rows and fold duplicates in place.
+	outPtr := make([]int64, c.Rows+1)
+	var w int64
+	for r := 0; r < c.Rows; r++ {
+		lo, hi := rowPtr[r], rowPtr[r+1]
+		seg := rowSeg[T]{col: col[lo:hi], val: val[lo:hi]}
+		sort.Sort(seg)
+		outPtr[r] = w
+		for k := lo; k < hi; k++ {
+			if w > outPtr[r] && col[w-1] == col[k] {
+				val[w-1] += val[k]
+			} else {
+				col[w] = col[k]
+				val[w] = val[k]
+				w++
+			}
+		}
+	}
+	outPtr[c.Rows] = w
+	return &CSR[T]{Rows: c.Rows, Cols: c.Cols, RowPtr: outPtr, Col: col[:w], Val: val[:w]}
+}
+
+type rowSeg[T num.Float] struct {
+	col []int32
+	val []T
+}
+
+func (s rowSeg[T]) Len() int           { return len(s.col) }
+func (s rowSeg[T]) Less(i, j int) bool { return s.col[i] < s.col[j] }
+func (s rowSeg[T]) Swap(i, j int) {
+	s.col[i], s.col[j] = s.col[j], s.col[i]
+	s.val[i], s.val[j] = s.val[j], s.val[i]
+}
+
+// Transpose returns Aᵀ in CSR form (equivalently, A in CSC form). This is
+// the inspection step the MKL inspector/executor substitute performs when
+// operation hints are supplied.
+func (a *CSR[T]) Transpose() *CSR[T] {
+	t := &CSR[T]{Rows: a.Cols, Cols: a.Rows}
+	t.RowPtr = make([]int64, a.Cols+1)
+	for _, j := range a.Col {
+		t.RowPtr[j+1]++
+	}
+	for r := 0; r < a.Cols; r++ {
+		t.RowPtr[r+1] += t.RowPtr[r]
+	}
+	t.Col = make([]int32, a.NNZ())
+	t.Val = make([]T, a.NNZ())
+	cursor := make([]int64, a.Cols)
+	copy(cursor, t.RowPtr[:a.Cols])
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.Col[k]
+			p := cursor[j]
+			t.Col[p] = int32(i)
+			t.Val[p] = a.Val[k]
+			cursor[j] = p + 1
+		}
+	}
+	return t
+}
+
+// MulVec computes y = A·x sequentially (y is overwritten). This is the
+// race-free gather kernel; parallelizing it needs no reduction.
+func (a *CSR[T]) MulVec(x, y []T) {
+	a.checkDims(x, y, false)
+	for i := 0; i < a.Rows; i++ {
+		var sum T
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			sum += a.Val[k] * x[a.Col[k]]
+		}
+		y[i] = sum
+	}
+}
+
+// TMulVecSeq computes y += Aᵀ·x sequentially — the paper's Figure 10
+// scatter loop and the baseline every parallel strategy is checked
+// against.
+func (a *CSR[T]) TMulVecSeq(x, y []T) {
+	a.checkDims(x, y, true)
+	for i := 0; i < a.Rows; i++ {
+		xi := x[i]
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			y[a.Col[k]] += a.Val[k] * xi
+		}
+	}
+}
+
+func (a *CSR[T]) checkDims(x, y []T, transpose bool) {
+	xi, yi := a.Cols, a.Rows
+	if transpose {
+		xi, yi = a.Rows, a.Cols
+	}
+	if len(x) != xi || len(y) != yi {
+		panic(fmt.Sprintf("sparse: dimension mismatch: %dx%d (transpose=%v) with x[%d], y[%d]",
+			a.Rows, a.Cols, transpose, len(x), len(y)))
+	}
+}
+
+// Validate checks CSR structural invariants and returns the first
+// violation, for use by tests and the Matrix Market reader.
+func (a *CSR[T]) Validate() error {
+	if len(a.RowPtr) != a.Rows+1 {
+		return fmt.Errorf("sparse: RowPtr length %d for %d rows", len(a.RowPtr), a.Rows)
+	}
+	if a.RowPtr[0] != 0 || a.RowPtr[a.Rows] != int64(len(a.Col)) || len(a.Col) != len(a.Val) {
+		return fmt.Errorf("sparse: inconsistent pointers/arrays")
+	}
+	for r := 0; r < a.Rows; r++ {
+		if a.RowPtr[r] > a.RowPtr[r+1] {
+			return fmt.Errorf("sparse: RowPtr decreasing at row %d", r)
+		}
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+			if a.Col[k] < 0 || int(a.Col[k]) >= a.Cols {
+				return fmt.Errorf("sparse: column %d out of range at row %d", a.Col[k], r)
+			}
+			if k > a.RowPtr[r] && a.Col[k-1] >= a.Col[k] {
+				return fmt.Errorf("sparse: columns not strictly ascending in row %d", r)
+			}
+		}
+	}
+	return nil
+}
+
+// Bandwidth returns the maximum |i - j| over stored entries, the property
+// that distinguishes the paper's two test matrices.
+func (a *CSR[T]) Bandwidth() int {
+	var bw int
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			d := i - int(a.Col[k])
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}

@@ -1,0 +1,32 @@
+package sparse
+
+import (
+	"spray"
+	"spray/internal/num"
+)
+
+// TMulVec computes y += Aᵀ·x in parallel using the given SPRAY strategy:
+// rows are split across the team (the paper's outer loop, default static
+// schedule) and the data-dependent column updates scatter through the
+// reducer. The returned Reducer exposes the strategy's memory overhead.
+func TMulVec[T num.Float](team *spray.Team, st spray.Strategy, a *CSR[T], x, y []T) spray.Reducer[T] {
+	a.checkDims(x, y, true)
+	r := spray.New(st, y, team.Size())
+	RunTMulVec(team, r, a, x)
+	return r
+}
+
+// RunTMulVec runs one y += Aᵀ·x region through an existing Reducer
+// wrapping y, for callers that apply the product repeatedly (iterative
+// solvers, PageRank) and want to reuse the reducer's internal state.
+func RunTMulVec[T num.Float](team *spray.Team, r spray.Reducer[T], a *CSR[T], x []T) {
+	spray.RunReduction(team, r, 0, a.Rows, spray.Static(),
+		func(acc spray.Accessor[T], from, to int) {
+			for i := from; i < to; i++ {
+				xi := x[i]
+				for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+					acc.Add(int(a.Col[k]), a.Val[k]*xi)
+				}
+			}
+		})
+}

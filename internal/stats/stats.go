@@ -1,0 +1,75 @@
+// Package stats computes the summary statistics the benchmark harness
+// reports. The paper repeats run-time experiments at least 10 times and
+// reports means; we additionally keep min/max/median/stddev so noisy runs
+// are visible in the output.
+package stats
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary describes a set of repeated measurements.
+type Summary struct {
+	N      int
+	Mean   float64
+	Min    float64
+	Max    float64
+	Median float64
+	Stddev float64
+}
+
+// Of computes a Summary over xs. An empty input yields a zero Summary.
+func Of(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// OfDurations converts ds to seconds and summarizes them.
+func OfDurations(ds []time.Duration) Summary {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = d.Seconds()
+	}
+	return Of(xs)
+}
+
+// Speedup returns baseline/t, the paper's speedup-over-sequential metric,
+// or 0 if t is not positive.
+func Speedup(baseline, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return baseline / t
+}

@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestOfBasic(t *testing.T) {
+	s := Of([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N=%d", s.N)
+	}
+	if s.Mean != 5 {
+		t.Errorf("mean=%v", s.Mean)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max=%v/%v", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("median=%v, want 4.5", s.Median)
+	}
+	// Sample stddev of this classic set: sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Stddev-want) > 1e-12 {
+		t.Errorf("stddev=%v, want %v", s.Stddev, want)
+	}
+}
+
+func TestOfOddMedianAndSingle(t *testing.T) {
+	if m := Of([]float64{3, 1, 2}).Median; m != 2 {
+		t.Errorf("odd median=%v", m)
+	}
+	s := Of([]float64{42})
+	if s.Mean != 42 || s.Median != 42 || s.Stddev != 0 {
+		t.Errorf("single: %+v", s)
+	}
+}
+
+func TestOfEmpty(t *testing.T) {
+	s := Of(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty: %+v", s)
+	}
+}
+
+func TestOfDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Of(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestOfDurations(t *testing.T) {
+	s := OfDurations([]time.Duration{time.Second, 3 * time.Second})
+	if s.Mean != 2 {
+		t.Errorf("mean=%v", s.Mean)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(10, 2); got != 5 {
+		t.Errorf("Speedup=%v", got)
+	}
+	if got := Speedup(10, 0); got != 0 {
+		t.Errorf("Speedup by zero=%v", got)
+	}
+}

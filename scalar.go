@@ -1,0 +1,27 @@
+package spray
+
+import "spray/internal/par"
+
+// Scalar reductions — single reduction location, so none of the sparse
+// machinery applies; these are the OpenMP "reduction(+|min|max: x)"
+// idioms, provided so applications built on spray's Team do not need a
+// second runtime for their scalar sums and extrema.
+
+// Sum computes Σ f(i) for i in [lo, hi) on the team. Per-thread partials
+// are combined in ascending thread order, so the result is deterministic
+// for a fixed team size.
+func Sum(t *Team, lo, hi int, f func(i int) float64) float64 {
+	return par.SumFloat64(t, lo, hi, f)
+}
+
+// Min computes the minimum of f(i) for i in [lo, hi) on the team; init is
+// returned for an empty range (pass +Inf for the usual semantics).
+func Min(t *Team, lo, hi int, init float64, f func(i int) float64) float64 {
+	return par.MinFloat64(t, lo, hi, init, f)
+}
+
+// Max computes the maximum of f(i) for i in [lo, hi) on the team; init is
+// returned for an empty range (pass -Inf for the usual semantics).
+func Max(t *Team, lo, hi int, init float64, f func(i int) float64) float64 {
+	return par.MaxFloat64(t, lo, hi, init, f)
+}

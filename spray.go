@@ -1,0 +1,201 @@
+// Package spray is a Go reproduction of the SPRAY library from
+// "Spray: Sparse Reductions of Arrays in OpenMP" (Hückelheim & Doerfert,
+// 2021): interchangeable reducer objects for concurrent sparse reductions
+// into arrays.
+//
+// A reduction here means many goroutines collaboratively performing
+// "out[i] += v" where each goroutine touches only part of out. SPRAY
+// separates the intent (safely accumulate) from the implementation
+// (privatize, use atomics, claim blocks, queue with owners, ...) behind
+// one minimal interface, so the strategy can be swapped with a one-line
+// change:
+//
+//	team := spray.NewTeam(8)
+//	defer team.Close()
+//	spray.ReduceFor(team, spray.BlockCAS(1024), out, 1, n, spray.Static(),
+//		func(acc spray.Accessor[float64], from, to int) {
+//			for i := from; i < to; i++ {
+//				acc.Add(i-1, fn0(in[i]))
+//				acc.Add(i+1, fn1(in[i]))
+//			}
+//		})
+//
+// Replace BlockCAS(1024) with Atomic(), Keeper(), Dense(), ... and nothing
+// else changes; every strategy guarantees all contributions are visible in
+// out when ReduceFor returns. For repeated regions over the same array
+// (time loops), construct a Reducer once with New and drive it with
+// RunReduction to reuse its internal allocations.
+package spray
+
+import (
+	"runtime"
+
+	"spray/internal/core"
+	"spray/internal/num"
+	"spray/internal/par"
+)
+
+// Value is the element type constraint for reducers: any floating-point
+// array element type.
+type Value = num.Float
+
+// Accessor is the per-goroutine handle used inside a parallel region in
+// place of the original array; Add is the equivalent of the paper's
+// overloaded "+=" on a reducer object. An Accessor must only be used by
+// the goroutine it was issued to.
+type Accessor[T Value] interface {
+	// Add accumulates v into position i of the wrapped array.
+	Add(i int, v T)
+	// Done marks the end of this goroutine's updates for the region.
+	// RunReduction and ReduceFor call it for you.
+	Done()
+}
+
+// Reducer wraps a target array with a reduction strategy. Private hands
+// out per-thread Accessors; after Finalize returns, every contribution
+// made through any Accessor is visible in the wrapped array and the
+// Reducer is ready for the next region.
+type Reducer[T Value] interface {
+	// Private returns the Accessor for thread tid in [0, Threads()).
+	Private(tid int) Accessor[T]
+	// Finalize runs the strategy's fix-up/combine step serially.
+	Finalize()
+	// FinalizeWith runs the fix-up step using the team when the
+	// strategy can parallelize it, falling back to Finalize otherwise.
+	FinalizeWith(t *Team)
+	// Bytes reports the strategy's current extra memory in bytes.
+	Bytes() int64
+	// PeakBytes reports the high-water mark of extra memory.
+	PeakBytes() int64
+	// Name identifies the strategy, e.g. "block-cas-1024".
+	Name() string
+	// Threads returns the team size the Reducer was built for.
+	Threads() int
+}
+
+// Team re-exports the goroutine team of the parallel runtime; it plays the
+// role of an OpenMP thread team. Create with NewTeam, reuse across
+// regions, Close when done.
+type Team = par.Team
+
+// Schedule re-exports the loop schedules of the parallel runtime.
+type Schedule = par.Schedule
+
+// NewTeam creates a team with n members (n >= 1).
+func NewTeam(n int) *Team { return par.NewTeam(n) }
+
+// DefaultTeam creates a team sized to GOMAXPROCS.
+func DefaultTeam() *Team { return par.NewTeam(runtime.GOMAXPROCS(0)) }
+
+// Static returns the default OpenMP schedule (one contiguous chunk per
+// thread) used in all of the paper's experiments.
+func Static() Schedule { return par.Static() }
+
+// StaticChunk returns a round-robin static schedule with fixed chunks.
+func StaticChunk(c int) Schedule { return par.StaticChunk(c) }
+
+// Dynamic returns a first-come-first-served schedule with the given chunk
+// size (<= 0 selects the OpenMP default of 1).
+func Dynamic(c int) Schedule { return par.Dynamic(c) }
+
+// Guided returns a shrinking-chunk schedule with the given minimum chunk.
+func Guided(c int) Schedule { return par.Guided(c) }
+
+// ParallelFor executes [lo, hi) on the team under the schedule, invoking
+// body once per assigned chunk — a plain parallel loop with no reduction.
+func ParallelFor(t *Team, lo, hi int, s Schedule, body func(tid, from, to int)) {
+	par.ParallelFor(t, lo, hi, s, body)
+}
+
+// adapter lifts a core reducer into the public interface. The only reason
+// it exists is Go's nominal matching of method signatures across packages;
+// it adds one interface conversion per thread per region.
+type adapter[T Value] struct{ r core.Reducer[T] }
+
+func (a adapter[T]) Private(tid int) Accessor[T] { return a.r.Private(tid) }
+func (a adapter[T]) Finalize()                   { a.r.Finalize() }
+func (a adapter[T]) Bytes() int64                { return a.r.Bytes() }
+func (a adapter[T]) PeakBytes() int64            { return a.r.PeakBytes() }
+func (a adapter[T]) Name() string                { return a.r.Name() }
+func (a adapter[T]) Threads() int                { return a.r.Threads() }
+
+func (a adapter[T]) FinalizeWith(t *Team) {
+	if pf, ok := a.r.(core.ParallelFinalizer); ok {
+		pf.FinalizeWith(t)
+		return
+	}
+	a.r.Finalize()
+}
+
+// New constructs a Reducer applying strategy st to out for a team of the
+// given size. The constructor itself is cheap; strategy-specific memory is
+// allocated lazily per thread (the paper's init semantics).
+func New[T Value](st Strategy, out []T, threads int) Reducer[T] {
+	var r core.Reducer[T]
+	switch st.kind {
+	case kindBuiltin:
+		r = core.NewBuiltin(out, threads)
+	case kindDense:
+		r = core.NewDense(out, threads)
+	case kindAtomic:
+		r = core.NewAtomic(out, threads)
+	case kindMap:
+		r = core.NewMap(out, threads)
+	case kindBTree:
+		r = core.NewBTree(out, threads, st.param)
+	case kindBlockPrivate:
+		r = core.NewBlock(out, threads, st.param, core.BlockPrivate)
+	case kindBlockLock:
+		r = core.NewBlock(out, threads, st.param, core.BlockLock)
+	case kindBlockCAS:
+		r = core.NewBlock(out, threads, st.param, core.BlockCAS)
+	case kindKeeper:
+		r = core.NewKeeper(out, threads)
+	case kindOrdered:
+		r = core.NewOrdered(out, threads)
+	case kindAuto:
+		r = core.NewAdaptive(out, threads, st.param)
+	case kindCompensated:
+		r = core.NewCompensated(out, threads)
+	default:
+		panic("spray: unknown strategy " + st.String())
+	}
+	return adapter[T]{r: r}
+}
+
+// RunReduction executes one parallel region over [lo, hi): each team
+// member receives its Accessor, processes its chunks through body, and the
+// reducer is finalized with the team. The Reducer must have been built
+// with threads == t.Size().
+func RunReduction[T Value](t *Team, r Reducer[T], lo, hi int, s Schedule, body func(acc Accessor[T], from, to int)) {
+	if r.Threads() != t.Size() {
+		panic("spray: reducer thread count does not match team size")
+	}
+	c := par.NewChunker(s, lo, hi, t.Size())
+	t.Run(func(tid int) {
+		acc := r.Private(tid)
+		c.For(tid, func(from, to int) { body(acc, from, to) })
+		acc.Done()
+	})
+	r.FinalizeWith(t)
+}
+
+// ReduceFor is the one-shot convenience driver: build a Reducer for st,
+// run the region, finalize, and return the Reducer (for its memory
+// statistics). Equivalent to the paper's wrap-and-annotate usage pattern.
+func ReduceFor[T Value](t *Team, st Strategy, out []T, lo, hi int, s Schedule, body func(acc Accessor[T], from, to int)) Reducer[T] {
+	r := New(st, out, t.Size())
+	RunReduction(t, r, lo, hi, s, body)
+	return r
+}
+
+// ReduceForEach is the per-index form of ReduceFor, closest to the
+// paper's source listings; prefer the chunked form for tight inner
+// loops.
+func ReduceForEach[T Value](t *Team, st Strategy, out []T, lo, hi int, s Schedule, body func(acc Accessor[T], i int)) Reducer[T] {
+	return ReduceFor(t, st, out, lo, hi, s, func(acc Accessor[T], from, to int) {
+		for i := from; i < to; i++ {
+			body(acc, i)
+		}
+	})
+}

@@ -1,0 +1,268 @@
+package spray
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spray/internal/num"
+)
+
+// fig2Sequential is the paper's Figure 2 loop, sequentially.
+func fig2Sequential(in []float64) []float64 {
+	n := len(in)
+	out := make([]float64, n+1)
+	for i := 1; i < n; i++ {
+		out[i-1] += 2 * in[i] // fn0
+		out[i+1] += 3 * in[i] // fn1
+	}
+	return out
+}
+
+func testInput(n int) []float64 {
+	rng := rand.New(rand.NewSource(99))
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = float64(rng.Intn(7) - 3)
+	}
+	return in
+}
+
+func TestReduceForAllStrategiesFig2(t *testing.T) {
+	const n = 2000
+	in := testInput(n)
+	want := fig2Sequential(in)
+	for _, st := range AllStrategies() {
+		for _, threads := range []int{1, 3, 6} {
+			team := NewTeam(threads)
+			out := make([]float64, n+1)
+			r := ReduceFor(team, st, out, 1, n, Static(),
+				func(acc Accessor[float64], from, to int) {
+					for i := from; i < to; i++ {
+						acc.Add(i-1, 2*in[i])
+						acc.Add(i+1, 3*in[i])
+					}
+				})
+			team.Close()
+			if d := num.MaxAbsDiff(out, want); d != 0 {
+				t.Errorf("%s threads=%d: diff %v", st, threads, d)
+			}
+			if r.Name() != st.String() {
+				t.Errorf("reducer name %q != strategy %q", r.Name(), st)
+			}
+		}
+	}
+}
+
+func TestReduceForSchedules(t *testing.T) {
+	const n = 1500
+	in := testInput(n)
+	want := fig2Sequential(in)
+	team := NewTeam(4)
+	defer team.Close()
+	for _, sched := range []Schedule{Static(), StaticChunk(16), Dynamic(8), Guided(4)} {
+		for _, st := range []Strategy{Atomic(), BlockCAS(64), Keeper(), Dense()} {
+			out := make([]float64, n+1)
+			ReduceFor(team, st, out, 1, n, sched,
+				func(acc Accessor[float64], from, to int) {
+					for i := from; i < to; i++ {
+						acc.Add(i-1, 2*in[i])
+						acc.Add(i+1, 3*in[i])
+					}
+				})
+			if d := num.MaxAbsDiff(out, want); d != 0 {
+				t.Errorf("%s %s: diff %v", st, sched, d)
+			}
+		}
+	}
+}
+
+func TestRunReductionReuse(t *testing.T) {
+	const n, regions = 800, 5
+	in := testInput(n)
+	oneRegion := fig2Sequential(in)
+	want := make([]float64, n+1)
+	for i := range want {
+		want[i] = float64(regions) * oneRegion[i]
+	}
+	team := NewTeam(3)
+	defer team.Close()
+	for _, st := range []Strategy{BlockLock(128), Keeper(), Map(), Builtin()} {
+		out := make([]float64, n+1)
+		r := New(st, out, team.Size())
+		for reg := 0; reg < regions; reg++ {
+			RunReduction(team, r, 1, n, Static(),
+				func(acc Accessor[float64], from, to int) {
+					for i := from; i < to; i++ {
+						acc.Add(i-1, 2*in[i])
+						acc.Add(i+1, 3*in[i])
+					}
+				})
+		}
+		if d := num.MaxAbsDiff(out, want); d != 0 {
+			t.Errorf("%s: diff %v over %d regions", st, d, regions)
+		}
+	}
+}
+
+func TestRunReductionTeamMismatchPanics(t *testing.T) {
+	team := NewTeam(2)
+	defer team.Close()
+	r := New(Atomic(), make([]float64, 10), 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("thread-count mismatch did not panic")
+		}
+	}()
+	RunReduction(team, r, 0, 10, Static(), func(acc Accessor[float64], from, to int) {})
+}
+
+func TestStrategyStringParseRoundTrip(t *testing.T) {
+	all := append(AllStrategies(),
+		BTree(8), BlockPrivate(64), BlockLock(4096), BlockCAS(16384))
+	for _, st := range all {
+		got, err := ParseStrategy(st.String())
+		if err != nil {
+			t.Errorf("ParseStrategy(%q): %v", st.String(), err)
+			continue
+		}
+		if got != st {
+			t.Errorf("round trip %q -> %v", st.String(), got)
+		}
+	}
+}
+
+func TestParseStrategyAliasesAndErrors(t *testing.T) {
+	for _, alias := range []string{"builtin", "omp", "omp-builtin"} {
+		st, err := ParseStrategy(alias)
+		if err != nil || st != Builtin() {
+			t.Errorf("ParseStrategy(%q) = %v, %v", alias, st, err)
+		}
+	}
+	if st, err := ParseStrategy("block-cas"); err != nil || st != BlockCAS(DefaultBlockSize) {
+		t.Errorf("bare block-cas = %v, %v", st, err)
+	}
+	for _, bad := range []string{"", "blocks", "block-cas-x", "block-cas--4", "btree-0"} {
+		if _, err := ParseStrategy(bad); err == nil {
+			t.Errorf("ParseStrategy(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseStrategies(t *testing.T) {
+	sts, err := ParseStrategies("atomic, keeper ,block-cas-64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 3 || sts[0] != Atomic() || sts[1] != Keeper() || sts[2] != BlockCAS(64) {
+		t.Errorf("got %v", sts)
+	}
+	if _, err := ParseStrategies("atomic,nope"); err == nil {
+		t.Error("bad list parsed")
+	}
+}
+
+func TestStrategyPropertyParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		ParseStrategy(s) // must not panic, error is fine
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryReportingThroughPublicAPI(t *testing.T) {
+	const n = 1 << 16
+	team := NewTeam(4)
+	defer team.Close()
+	body := func(acc Accessor[float64], from, to int) {
+		for i := from; i < to; i++ {
+			acc.Add(i, 1)
+		}
+	}
+	out := make([]float64, n)
+	dense := ReduceFor(team, Dense(), out, 0, n, Static(), body)
+	atomic := ReduceFor(team, Atomic(), out, 0, n, Static(), body)
+	blk := ReduceFor(team, BlockCAS(1024), out, 0, n, Static(), body)
+	if dense.PeakBytes() != int64(4*n*8) {
+		t.Errorf("dense peak=%d, want %d", dense.PeakBytes(), 4*n*8)
+	}
+	if atomic.PeakBytes() != 0 {
+		t.Errorf("atomic peak=%d", atomic.PeakBytes())
+	}
+	if blk.PeakBytes() >= dense.PeakBytes()/4 {
+		t.Errorf("block peak=%d not far below dense %d", blk.PeakBytes(), dense.PeakBytes())
+	}
+}
+
+func TestParallelForPublicWrapper(t *testing.T) {
+	team := NewTeam(4)
+	defer team.Close()
+	marks := make([]int32, 100)
+	ParallelFor(team, 0, 100, Dynamic(3), func(tid, from, to int) {
+		for i := from; i < to; i++ {
+			marks[i]++
+		}
+	})
+	for i, m := range marks {
+		if m != 1 {
+			t.Fatalf("index %d visited %d times", i, m)
+		}
+	}
+}
+
+func TestDefaultTeamAndClose(t *testing.T) {
+	team := DefaultTeam()
+	if team.Size() < 1 {
+		t.Fatalf("size=%d", team.Size())
+	}
+	team.Close()
+}
+
+func TestFig5InputDependentPattern(t *testing.T) {
+	// The paper's Figure 5: out[col[i]] += fn(in[i]) with arbitrary col.
+	const n, m = 4096, 1024
+	rng := rand.New(rand.NewSource(5))
+	col := make([]int, n)
+	in := make([]float64, n)
+	for i := range col {
+		col[i] = rng.Intn(m)
+		in[i] = float64(rng.Intn(9) - 4)
+	}
+	want := make([]float64, m)
+	for i := range col {
+		want[col[i]] += 2 * in[i]
+	}
+	team := NewTeam(5)
+	defer team.Close()
+	for _, st := range AllStrategies() {
+		out := make([]float64, m)
+		ReduceFor(team, st, out, 0, n, Static(),
+			func(acc Accessor[float64], from, to int) {
+				for i := from; i < to; i++ {
+					acc.Add(col[i], 2*in[i])
+				}
+			})
+		if d := num.MaxAbsDiff(out, want); d != 0 {
+			t.Errorf("%s: diff %v", st, d)
+		}
+	}
+}
+
+func TestReduceForEach(t *testing.T) {
+	const n = 1000
+	in := testInput(n)
+	want := fig2Sequential(in)
+	team := NewTeam(3)
+	defer team.Close()
+	out := make([]float64, n+1)
+	ReduceForEach(team, BlockCAS(64), out, 1, n, Dynamic(16),
+		func(acc Accessor[float64], i int) {
+			acc.Add(i-1, 2*in[i])
+			acc.Add(i+1, 3*in[i])
+		})
+	if d := num.MaxAbsDiff(out, want); d != 0 {
+		t.Errorf("diff %v", d)
+	}
+}
