@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: ci build vet test race bench-smoke bench-bulk clean
+
+# ci is the tier-1 gate plus a cheap benchmark compile-and-run check.
+ci: vet build test race bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-smoke proves the bulk benchmarks run end to end without timing
+# anything meaningful (100 iterations per case).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkBulk' -benchtime 100x .
+
+# bench-bulk produces the each-vs-bulk comparison tables and
+# BENCH_bulk.json at a size that finishes in a few minutes.
+bench-bulk:
+	$(GO) run ./cmd/spraybulk -json BENCH_bulk.json
+
+clean:
+	rm -f BENCH_bulk.json
+	$(GO) clean ./...

@@ -311,6 +311,79 @@ func BenchmarkAblationAddDispatch(b *testing.B) {
 	})
 }
 
+// bulkBenchStrategies are the strategies whose AddN/Scatter overrides
+// have a structural shortcut worth measuring against the per-element
+// loop (atomic rides along as the no-memory reference).
+var bulkBenchStrategies = []spray.Strategy{
+	spray.Dense(), spray.Atomic(), spray.BlockCAS(1024), spray.Keeper(),
+}
+
+// BenchmarkBulkConv compares the element-wise Add loop against tiled
+// AddN batches on the conv back-propagation workload. cmd/spraybulk runs
+// the same comparison at larger scale and emits BENCH_bulk.json.
+func BenchmarkBulkConv(b *testing.B) {
+	const n = 1 << 20
+	seed := convSeed(n)
+	out := make([]float32, n)
+	for _, st := range bulkBenchStrategies {
+		for _, th := range benchThreads {
+			b.Run(fmt.Sprintf("%s/each/threads=%d", st, th), func(b *testing.B) {
+				team := spray.NewTeam(th)
+				defer team.Close()
+				r := spray.New(st, out, th)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					benchWeights.RunBackpropEach(team, r, seed)
+				}
+				b.SetBytes(int64(n * 4))
+			})
+			b.Run(fmt.Sprintf("%s/bulk/threads=%d", st, th), func(b *testing.B) {
+				team := spray.NewTeam(th)
+				defer team.Close()
+				r := spray.New(st, out, th)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					benchWeights.RunBackprop(team, r, seed)
+				}
+				b.SetBytes(int64(n * 4))
+			})
+		}
+	}
+}
+
+// BenchmarkBulkTMV compares one Add per nonzero against one Scatter per
+// CSR row on the transpose-matrix-vector workload.
+func BenchmarkBulkTMV(b *testing.B) {
+	a := sparse.Graph[float32](1<<17, 8, 99)
+	x := make([]float32, a.Rows)
+	for i := range x {
+		x[i] = 1
+	}
+	y := make([]float32, a.Cols)
+	for _, st := range bulkBenchStrategies {
+		for _, th := range benchThreads {
+			b.Run(fmt.Sprintf("%s/each/threads=%d", st, th), func(b *testing.B) {
+				team := spray.NewTeam(th)
+				defer team.Close()
+				r := spray.New(st, y, th)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sparse.RunTMulVecEach(team, r, a, x)
+				}
+			})
+			b.Run(fmt.Sprintf("%s/bulk/threads=%d", st, th), func(b *testing.B) {
+				team := spray.NewTeam(th)
+				defer team.Close()
+				r := spray.New(st, y, th)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sparse.RunTMulVec(team, r, a, x)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFemAssembly measures the FEM matrix-assembly workload (the
 // paper's Figure 1 pattern) under the competitive strategies — an
 // extension workload, not a paper figure.

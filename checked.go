@@ -26,7 +26,7 @@ type checkedReducer[T Value] struct {
 }
 
 type checkedAccessor[T Value] struct {
-	inner  Accessor[T]
+	inner  BulkAccessor[T]
 	parent *checkedReducer[T]
 	tid    int
 	done   bool
@@ -39,7 +39,7 @@ func (c *checkedReducer[T]) Private(tid int) Accessor[T] {
 	if !c.issued[tid].CompareAndSwap(false, true) {
 		panic(fmt.Sprintf("spray: Private(%d) requested twice in one region", tid))
 	}
-	return &checkedAccessor[T]{inner: c.inner.Private(tid), parent: c, tid: tid}
+	return &checkedAccessor[T]{inner: Bulk(c.inner.Private(tid)), parent: c, tid: tid}
 }
 
 func (a *checkedAccessor[T]) Add(i int, v T) {
@@ -50,6 +50,36 @@ func (a *checkedAccessor[T]) Add(i int, v T) {
 		panic(fmt.Sprintf("spray: Add(%d) outside array of length %d (thread %d)", i, a.parent.length, a.tid))
 	}
 	a.inner.Add(i, v)
+}
+
+// AddN validates the whole run up front, then forwards it to the inner
+// accessor's bulk path.
+func (a *checkedAccessor[T]) AddN(base int, vals []T) {
+	if a.done {
+		panic(fmt.Sprintf("spray: AddN on thread %d after Done", a.tid))
+	}
+	if base < 0 || base+len(vals) > a.parent.length {
+		panic(fmt.Sprintf("spray: AddN(%d, len %d) outside array of length %d (thread %d)",
+			base, len(vals), a.parent.length, a.tid))
+	}
+	a.inner.AddN(base, vals)
+}
+
+// Scatter validates batch shape and every index, then forwards the batch
+// to the inner accessor's bulk path.
+func (a *checkedAccessor[T]) Scatter(idx []int32, vals []T) {
+	if a.done {
+		panic(fmt.Sprintf("spray: Scatter on thread %d after Done", a.tid))
+	}
+	if len(idx) != len(vals) {
+		panic(fmt.Sprintf("spray: Scatter with %d indices but %d values (thread %d)", len(idx), len(vals), a.tid))
+	}
+	for _, i := range idx {
+		if i < 0 || int(i) >= a.parent.length {
+			panic(fmt.Sprintf("spray: Scatter index %d outside array of length %d (thread %d)", i, a.parent.length, a.tid))
+		}
+	}
+	a.inner.Scatter(idx, vals)
 }
 
 func (a *checkedAccessor[T]) Done() {

@@ -1,0 +1,80 @@
+// Command spraybulk measures the bulk-update fast path: each strategy
+// runs the conv back-propagation and transpose-matrix-vector workloads
+// twice — element-wise (one Add per update) and batched (AddN/Scatter) —
+// and reports both series side by side.
+//
+// Usage:
+//
+//	spraybulk -n 2000000 -max-threads 8
+//	spraybulk -workload tmv -json BENCH_bulk.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spray"
+	"spray/internal/bench"
+	"spray/internal/cliutil"
+	"spray/internal/experiments"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 2_000_000, "conv array length / tmv node count")
+		maxThreads = flag.Int("max-threads", 8, "largest thread count in the sweep")
+		threads    = flag.String("threads", "", "explicit comma-separated thread counts (overrides -max-threads)")
+		strategies = flag.String("strategies", "", "comma-separated strategy list (default: dense,atomic,block-cas,keeper)")
+		workload   = flag.String("workload", "all", "workload to run: conv, tmv or all")
+		repeats    = flag.Int("repeats", 3, "samples per configuration")
+		minTime    = flag.Duration("min-time", 100*time.Millisecond, "minimum time per sample")
+		jsonPath   = flag.String("json", "BENCH_bulk.json", "write results as JSON to this path (empty = skip)")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultBulkConfig(*n, *maxThreads)
+	cfg.Runner = bench.Runner{Repeats: *repeats, MinTime: *minTime}
+	if *threads != "" {
+		ths, err := cliutil.ParseInts(*threads)
+		fatalIf(err)
+		cfg.Threads = ths
+	}
+	if *strategies != "" {
+		sts, err := spray.ParseStrategies(*strategies)
+		fatalIf(err)
+		cfg.Strategies = sts
+	}
+
+	var results []*bench.Result
+	switch *workload {
+	case "conv":
+		results = append(results, experiments.BulkConv(cfg))
+	case "tmv":
+		results = append(results, experiments.BulkTMV(cfg))
+	case "all":
+		results = append(results, experiments.BulkConv(cfg), experiments.BulkTMV(cfg))
+	default:
+		fatalIf(fmt.Errorf("unknown workload %q (want conv, tmv or all)", *workload))
+	}
+	for _, res := range results {
+		res.WriteTable(os.Stdout)
+		fmt.Println()
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		fatalIf(err)
+		fatalIf(bench.WriteJSON(f, results))
+		fatalIf(f.Close())
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spraybulk:", err)
+		os.Exit(1)
+	}
+}

@@ -67,13 +67,23 @@ func main() {
 		seq := time.Since(t0)
 		fmt.Printf("  %-16s %10v\n", "sequential", seq)
 
+		// Scatter batches share one constant weight buffer: the key slice
+		// itself is the index batch, cut into tiles.
+		const tile = 4096
+		ones := make([]float64, tile)
+		for i := range ones {
+			ones[i] = 1
+		}
+
 		for _, st := range strategies {
 			hist := make([]float64, nBins)
 			t0 := time.Now()
 			r := spray.ReduceFor(team, st, hist, 0, len(keys), spray.Static(),
 				func(acc spray.Accessor[float64], from, to int) {
-					for i := from; i < to; i++ {
-						acc.Add(int(keys[i]), 1)
+					bacc := spray.Bulk(acc)
+					for i := from; i < to; i += tile {
+						m := min(tile, to-i)
+						bacc.Scatter(keys[i:i+m], ones[:m])
 					}
 				})
 			el := time.Since(t0)

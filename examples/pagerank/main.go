@@ -56,11 +56,26 @@ func main() {
 			}
 			spray.RunReduction(team, r, 0, nodes, spray.Static(),
 				func(acc spray.Accessor[float64], from, to int) {
+					// Each node's out-edge list g.Col[k0:k1] is a ready-made
+					// Scatter index batch; the per-thread scratch holds the
+					// replicated push value.
+					bacc := spray.Bulk(acc)
+					var vals []float64
 					for u := from; u < to; u++ {
 						push := damping * rank[u] * norm[u]
-						for k := g.RowPtr[u]; k < g.RowPtr[u+1]; k++ {
-							acc.Add(int(g.Col[k]), push)
+						k0, k1 := g.RowPtr[u], g.RowPtr[u+1]
+						n := int(k1 - k0)
+						if n == 0 {
+							continue
 						}
+						if cap(vals) < n {
+							vals = make([]float64, n)
+						}
+						vals = vals[:n]
+						for j := range vals {
+							vals[j] = push
+						}
+						bacc.Scatter(g.Col[k0:k1], vals)
 					}
 				})
 			rank, next = next, rank

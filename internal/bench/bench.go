@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -194,6 +195,22 @@ func (r *Result) WriteCSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// WriteJSON renders the result as indented JSON — the machine-readable
+// sibling of WriteCSV, used by the CI bench smoke to emit BENCH_bulk.json.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteJSON writes several results as one indented JSON array, for
+// commands that bundle multiple figures into a single output file.
+func WriteJSON(w io.Writer, results []*Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
 }
 
 func (s *Series) point(x float64) (Point, bool) {

@@ -70,15 +70,20 @@ func (s Stencil2D[T]) BackpropSeq(seed, out []T, rows, cols int) {
 func (s Stencil2D[T]) Backprop(team *spray.Team, st spray.Strategy, seed, out []T, rows, cols int) spray.Reducer2D[T] {
 	checkGrid(seed, out, rows, cols)
 	r := s.Radius()
+	// Each tap row of the neighborhood is contiguous within one grid row,
+	// so it is scaled into a scratch buffer and pushed as one 2-D AddN.
 	return spray.ReduceFor2D(team, st, out, rows, cols, r, rows-r, spray.Static(),
 		func(acc spray.Accessor2D[T], fromRow, toRow int) {
+			vals := make([]T, 2*r+1)
 			for i := fromRow; i < toRow; i++ {
 				for j := r; j < cols-r; j++ {
 					sd := seed[i*cols+j]
 					for di := 0; di <= 2*r; di++ {
-						for dj := 0; dj <= 2*r; dj++ {
-							acc.Add(i+di-r, j+dj-r, s.Taps[di][dj]*sd)
+						taps := s.Taps[di]
+						for dj := range vals {
+							vals[dj] = taps[dj] * sd
 						}
+						acc.AddN(i+di-r, j-r, vals)
 					}
 				}
 			}

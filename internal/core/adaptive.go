@@ -7,6 +7,7 @@ import (
 
 	"spray/internal/memtrack"
 	"spray/internal/num"
+	"spray/internal/par"
 )
 
 // adaptiveThresholdShift sets the escalation threshold relative to the
@@ -83,6 +84,53 @@ func (p *adaptivePrivate[T]) Add(i int, v T) {
 	}
 }
 
+// AddN accumulates a contiguous run block by block: escalated blocks take
+// a plain loop over the private copy (block resolved once per run),
+// atomic-regime blocks that stay safely below the hotness threshold pay
+// per-element CAS with the touch counter bumped once for the whole
+// segment. A segment that would cross the threshold mid-way degrades to
+// per-element Add so escalation fires at exactly the same element as in
+// the element-wise path — keeping bulk bitwise-equivalent to Add.
+func (p *adaptivePrivate[T]) AddN(base int, vals []T) {
+	parent := p.parent
+	bsize, mask, shift := parent.bsize, parent.mask, parent.shift
+	thresh := uint32(bsize >> adaptiveThresholdShift)
+	for len(vals) > 0 {
+		b := base >> shift
+		off := base & mask
+		n := bsize - off
+		if n > len(vals) {
+			n = len(vals)
+		}
+		if view := p.view[b]; view != nil {
+			dst := view[off : off+n]
+			for j, v := range vals[:n] {
+				dst[j] += v
+			}
+		} else if p.touch[b]+uint32(n) <= thresh {
+			out := parent.out[base : base+n]
+			for j, v := range vals[:n] {
+				num.AtomicAdd(out, j, v)
+			}
+			p.touch[b] += uint32(n)
+		} else {
+			for j, v := range vals[:n] {
+				p.Add(base+j, v)
+			}
+		}
+		base += n
+		vals = vals[n:]
+	}
+}
+
+// Scatter accumulates a gathered batch; each element goes through the
+// regular regime dispatch so escalation behaves exactly as with Add.
+func (p *adaptivePrivate[T]) Scatter(idx []int32, vals []T) {
+	for j, i := range idx {
+		p.Add(int(i), vals[j])
+	}
+}
+
 // escalate privatizes block b for this thread.
 func (p *adaptivePrivate[T]) escalate(b int) {
 	parent := p.parent
@@ -117,6 +165,11 @@ func (a *Adaptive[T]) Private(tid int) Private[T] {
 	p.owned = p.owned[:0]
 	return p
 }
+
+// FinalizeWith delegates to the serial Finalize: escalated blocks are
+// typically few (that is the point of the strategy), so the merge is not
+// worth a parallel region.
+func (a *Adaptive[T]) FinalizeWith(*par.Team) { a.Finalize() }
 
 // Finalize folds every escalated private block back into the array.
 func (a *Adaptive[T]) Finalize() {

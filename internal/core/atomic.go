@@ -1,6 +1,9 @@
 package core
 
-import "spray/internal/num"
+import (
+	"spray/internal/num"
+	"spray/internal/par"
+)
 
 // Atomic is the SPRAY AtomicReduction: every Add updates the original
 // storage location with an atomic compare-and-swap loop over the float's
@@ -23,7 +26,26 @@ func NewAtomic[T num.Float](out []T, threads int) *Atomic[T] {
 type atomicPrivate[T num.Float] struct{ out []T }
 
 func (p *atomicPrivate[T]) Add(i int, v T) { num.AtomicAdd(p.out, i, v) }
-func (p *atomicPrivate[T]) Done()          {}
+
+// AddN keeps per-element CAS (two threads may still race on the same
+// location through overlapping runs) but hoists the slice bounds check
+// out of the loop.
+func (p *atomicPrivate[T]) AddN(base int, vals []T) {
+	dst := p.out[base : base+len(vals)]
+	for j, v := range vals {
+		num.AtomicAdd(dst, j, v)
+	}
+}
+
+// Scatter applies a gathered batch with per-element CAS.
+func (p *atomicPrivate[T]) Scatter(idx []int32, vals []T) {
+	out := p.out
+	for j, i := range idx {
+		num.AtomicAdd(out, int(i), vals[j])
+	}
+}
+
+func (p *atomicPrivate[T]) Done() {}
 
 // Private returns an accessor that updates the shared array directly.
 func (a *Atomic[T]) Private(tid int) Private[T] {
@@ -33,6 +55,9 @@ func (a *Atomic[T]) Private(tid int) Private[T] {
 
 // Finalize is a no-op: all updates landed in the original array already.
 func (a *Atomic[T]) Finalize() {}
+
+// FinalizeWith is a no-op like Finalize; the team is not needed.
+func (a *Atomic[T]) FinalizeWith(*par.Team) {}
 
 func (a *Atomic[T]) Bytes() int64     { return 0 }
 func (a *Atomic[T]) PeakBytes() int64 { return 0 }

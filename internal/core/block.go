@@ -9,6 +9,7 @@ import (
 
 	"spray/internal/memtrack"
 	"spray/internal/num"
+	"spray/internal/par"
 )
 
 // BlockMode selects among the three BlockReduction flavors in the paper.
@@ -51,6 +52,11 @@ const freeOwner = int32(-1)
 // block-pointer table; block storage appears lazily on first touch.
 // Finalize merges fallback blocks elementwise and releases ownership.
 //
+// Fallback blocks freed by the fix-up are kept on a per-thread free list
+// and reused by later regions (re-zeroed), so a time loop driving the
+// same reducer performs zero steady-state block allocations. Pooled
+// blocks stay charged to Bytes until the reducer is garbage.
+//
 // The block size is the hyperparameter the paper sweeps in Figure 13: it
 // trades the number of block allocations against wasted work on unused
 // elements inside touched blocks. Block sizes must be powers of two so the
@@ -74,6 +80,7 @@ type Block[T num.Float] struct {
 // positive power of two.
 func NewBlock[T num.Float](out []T, threads, blockSize int, mode BlockMode) *Block[T] {
 	validate(out, threads)
+	validateIndex32(len(out))
 	if blockSize < 1 || blockSize&(blockSize-1) != 0 {
 		panic(fmt.Sprintf("core: block size must be a positive power of two, got %d", blockSize))
 	}
@@ -110,6 +117,7 @@ type blockPrivate[T num.Float] struct {
 	tid    int32
 	view   [][]T // per block: nil until touched, then direct or private storage
 	fallbk []privBlock[T]
+	pool   [][]T // full-size fallback buffers recycled from earlier regions
 }
 
 // Add accumulates into the block view, resolving the block on first touch.
@@ -122,9 +130,55 @@ func (p *blockPrivate[T]) Add(i int, v T) {
 	view[i&p.parent.mask] += v
 }
 
+// AddN accumulates a contiguous run, resolving each spanned block once
+// and applying the per-block segment as a plain loop — the per-element
+// shift/mask/nil-check of Add is paid once per block instead of once per
+// element.
+func (p *blockPrivate[T]) AddN(base int, vals []T) {
+	bsize, mask, shift := p.parent.bsize, p.parent.mask, p.parent.shift
+	for len(vals) > 0 {
+		b := base >> shift
+		off := base & mask
+		n := bsize - off
+		if n > len(vals) {
+			n = len(vals)
+		}
+		view := p.view[b]
+		if view == nil {
+			view = p.acquire(b)
+		}
+		dst := view[off : off+n]
+		for j, v := range vals[:n] {
+			dst[j] += v
+		}
+		base += n
+		vals = vals[n:]
+	}
+}
+
+// Scatter accumulates a gathered batch, caching the resolved block view
+// across consecutive indices that land in the same block (the common case
+// for sorted or clustered index streams).
+func (p *blockPrivate[T]) Scatter(idx []int32, vals []T) {
+	mask, shift := p.parent.mask, p.parent.shift
+	lastB := -1
+	var view []T
+	for j, i := range idx {
+		b := int(i) >> shift
+		if b != lastB {
+			view = p.view[b]
+			if view == nil {
+				view = p.acquire(b)
+			}
+			lastB = b
+		}
+		view[int(i)&mask] += vals[j]
+	}
+}
+
 // acquire resolves storage for block b: claim it in the original array
-// when the mode allows and the block is unowned, otherwise allocate a
-// zeroed private copy.
+// when the mode allows and the block is unowned, otherwise reuse a pooled
+// fallback buffer (or allocate one on first use).
 func (p *blockPrivate[T]) acquire(b int) []T {
 	parent := p.parent
 	base := b << parent.shift
@@ -147,9 +201,16 @@ func (p *blockPrivate[T]) acquire(b int) []T {
 		parent.locks[b].Unlock()
 	}
 	if view == nil { // BlockPrivate mode, or the block is owned elsewhere
-		var zero T
-		view = make([]T, end-base)
-		parent.mem.Alloc(memtrack.SliceBytes(len(view), unsafe.Sizeof(zero)))
+		need := end - base
+		if n := len(p.pool); n > 0 {
+			view = p.pool[n-1][:need] // pooled buffers have cap >= bsize
+			p.pool = p.pool[:n-1]
+			clear(view)
+		} else {
+			var zero T
+			view = make([]T, need)
+			p.parent.mem.Alloc(memtrack.SliceBytes(need, unsafe.Sizeof(zero)))
+		}
 		p.fallbk = append(p.fallbk, privBlock[T]{block: b, buf: view})
 	}
 	p.view[b] = view
@@ -178,18 +239,67 @@ func (bl *Block[T]) Private(tid int) Private[T] {
 // and releases block ownership for the next region. Directly owned blocks
 // already hold their contributions.
 func (bl *Block[T]) Finalize() {
-	var zero T
 	for t := range bl.privs {
 		p := &bl.privs[t]
 		for _, fb := range p.fallbk {
 			base := fb.block << bl.shift
+			dst := bl.out[base : base+len(fb.buf)]
 			for j, v := range fb.buf {
-				bl.out[base+j] += v
+				dst[j] += v
 			}
+		}
+		bl.recycle(p)
+	}
+	bl.resetOwners()
+}
+
+// FinalizeWith merges the fallback blocks with the team: member m merges
+// every fallback block whose block index hashes to m, so two threads'
+// private copies of the same block are combined by one member and output
+// ranges stay disjoint — the same pattern Keeper.FinalizeWith uses for
+// its owner ranges.
+func (bl *Block[T]) FinalizeWith(t *par.Team) {
+	size := t.Size()
+	if size == 1 {
+		bl.Finalize()
+		return
+	}
+	t.Run(func(tid int) {
+		for p := range bl.privs {
+			for _, fb := range bl.privs[p].fallbk {
+				if fb.block%size != tid {
+					continue
+				}
+				base := fb.block << bl.shift
+				dst := bl.out[base : base+len(fb.buf)]
+				for j, v := range fb.buf {
+					dst[j] += v
+				}
+			}
+		}
+	})
+	for t := range bl.privs {
+		bl.recycle(&bl.privs[t])
+	}
+	bl.resetOwners()
+}
+
+// recycle returns p's merged fallback buffers to its free list. Only
+// full-size blocks are pooled (the array's partial tail block, if any, is
+// freed) so every pooled buffer fits any future block.
+func (bl *Block[T]) recycle(p *blockPrivate[T]) {
+	var zero T
+	for _, fb := range p.fallbk {
+		if cap(fb.buf) >= bl.bsize {
+			p.pool = append(p.pool, fb.buf)
+		} else {
 			bl.mem.Free(memtrack.SliceBytes(len(fb.buf), unsafe.Sizeof(zero)))
 		}
-		p.fallbk = p.fallbk[:0]
 	}
+	p.fallbk = p.fallbk[:0]
+}
+
+func (bl *Block[T]) resetOwners() {
 	for i := range bl.owner {
 		bl.owner[i].Store(freeOwner)
 	}

@@ -6,6 +6,7 @@ import (
 	"spray/internal/btree"
 	"spray/internal/memtrack"
 	"spray/internal/num"
+	"spray/internal/par"
 )
 
 // BTreeRed is the SPRAY MapReduction variant backed by the from-scratch
@@ -23,9 +24,11 @@ type BTreeRed[T num.Float] struct {
 }
 
 // NewBTree wraps out for a team of the given size; degree <= 0 selects the
-// B-tree's default node degree.
+// B-tree's default node degree. Arrays longer than MaxInt32 are rejected:
+// tree keys are int32.
 func NewBTree[T num.Float](out []T, threads, degree int) *BTreeRed[T] {
 	validate(out, threads)
+	validateIndex32(len(out))
 	return &BTreeRed[T]{
 		out:     out,
 		trees:   make([]*btree.Tree[T], threads),
@@ -44,6 +47,23 @@ func (p *btreePrivate[T]) Add(i int, v T) {
 	p.tree.Accumulate(int32(i), func(slot *T) { *slot += v })
 }
 
+// AddN accumulates a contiguous run; each element still costs a tree
+// descent, but the batch pays one interface dispatch.
+func (p *btreePrivate[T]) AddN(base int, vals []T) {
+	for j := range vals {
+		v := vals[j]
+		p.tree.Accumulate(int32(base+j), func(slot *T) { *slot += v })
+	}
+}
+
+// Scatter accumulates a gathered batch.
+func (p *btreePrivate[T]) Scatter(idx []int32, vals []T) {
+	for j, i := range idx {
+		v := vals[j]
+		p.tree.Accumulate(i, func(slot *T) { *slot += v })
+	}
+}
+
 // Done charges the tree nodes grown this region to the memory counter.
 func (p *btreePrivate[T]) Done() { p.parent.mem.Alloc(p.tree.Bytes()) }
 
@@ -55,6 +75,10 @@ func (b *BTreeRed[T]) Private(tid int) Private[T] {
 	b.privs[tid] = btreePrivate[T]{parent: b, tree: b.trees[tid]}
 	return &b.privs[tid]
 }
+
+// FinalizeWith delegates to the serial Finalize: the ascending-order
+// sweep per tree is the strategy's defining property and is kept intact.
+func (b *BTreeRed[T]) FinalizeWith(*par.Team) { b.Finalize() }
 
 // Finalize folds every private tree into the target in ascending index
 // order and resets the trees.

@@ -6,6 +6,7 @@ import (
 
 	"spray/internal/memtrack"
 	"spray/internal/num"
+	"spray/internal/par"
 )
 
 // Builtin models the reduction strategy the OpenMP standard prescribes for
@@ -43,6 +44,22 @@ type builtinPrivate[T num.Float] struct {
 
 func (p *builtinPrivate[T]) Add(i int, v T) { p.buf[i] += v }
 
+// AddN accumulates a contiguous run into the private copy.
+func (p *builtinPrivate[T]) AddN(base int, vals []T) {
+	dst := p.buf[base : base+len(vals)]
+	for j, v := range vals {
+		dst[j] += v
+	}
+}
+
+// Scatter accumulates a gathered batch into the private copy.
+func (p *builtinPrivate[T]) Scatter(idx []int32, vals []T) {
+	buf := p.buf
+	for j, i := range idx {
+		buf[i] += vals[j]
+	}
+}
+
 // Done folds the private copy into the original under the combine lock and
 // releases it, mirroring the end-of-region combination step.
 func (p *builtinPrivate[T]) Done() {
@@ -68,6 +85,10 @@ func (d *Builtin[T]) Private(tid int) Private[T] {
 
 // Finalize is a no-op: every private copy was already combined in Done.
 func (d *Builtin[T]) Finalize() {}
+
+// FinalizeWith is a no-op like Finalize; the combine is serialized in
+// Done by design (that is the baseline being modeled).
+func (d *Builtin[T]) FinalizeWith(*par.Team) {}
 
 func (d *Builtin[T]) Bytes() int64     { return d.mem.Bytes() }
 func (d *Builtin[T]) PeakBytes() int64 { return d.mem.Peak() }

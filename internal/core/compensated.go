@@ -49,6 +49,33 @@ func (p *compensatedPrivate[T]) Add(i int, v T) {
 	p.sum[i] = t
 }
 
+// AddN folds a contiguous run, one Kahan update per element in ascending
+// batch order — bit-identical to the element-wise path, with the bounds
+// checks hoisted.
+func (p *compensatedPrivate[T]) AddN(base int, vals []T) {
+	sum := p.sum[base : base+len(vals)]
+	comp := p.comp[base : base+len(vals)]
+	for j, v := range vals {
+		y := v - comp[j]
+		t := sum[j] + y
+		comp[j] = (t - sum[j]) - y
+		sum[j] = t
+	}
+}
+
+// Scatter folds a gathered batch with per-element Kahan updates in batch
+// order.
+func (p *compensatedPrivate[T]) Scatter(idx []int32, vals []T) {
+	sum, comp := p.sum, p.comp
+	for j, i := range idx {
+		v := vals[j]
+		y := v - comp[i]
+		t := sum[i] + y
+		comp[i] = (t - sum[i]) - y
+		sum[i] = t
+	}
+}
+
 func (p *compensatedPrivate[T]) Done() {}
 
 // Private allocates (or re-zeroes) the thread's compensated copy.

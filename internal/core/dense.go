@@ -14,9 +14,14 @@ import (
 // Memory grows as threads × array size; for sparse access patterns most of
 // that allocation, zeroing and merging is wasted work — which is precisely
 // the pathology the paper measures.
+//
+// Private copies are retained across regions (re-zeroed on reuse), so a
+// time loop driving the same reducer performs zero steady-state
+// allocations; call Release to return the memory between loops.
 type Dense[T num.Float] struct {
 	out     []T
 	bufs    [][]T
+	active  []bool // whether tid's copy was issued this region
 	privs   []densePrivate[T]
 	threads int
 	mem     memtrack.Counter
@@ -28,6 +33,7 @@ func NewDense[T num.Float](out []T, threads int) *Dense[T] {
 	return &Dense[T]{
 		out:     out,
 		bufs:    make([][]T, threads),
+		active:  make([]bool, threads),
 		privs:   make([]densePrivate[T], threads),
 		threads: threads,
 	}
@@ -36,7 +42,25 @@ func NewDense[T num.Float](out []T, threads int) *Dense[T] {
 type densePrivate[T num.Float] struct{ buf []T }
 
 func (p *densePrivate[T]) Add(i int, v T) { p.buf[i] += v }
-func (p *densePrivate[T]) Done()          {}
+
+// AddN accumulates a contiguous run into the private copy — a plain
+// vectorizable loop with the bounds check hoisted out.
+func (p *densePrivate[T]) AddN(base int, vals []T) {
+	dst := p.buf[base : base+len(vals)]
+	for j, v := range vals {
+		dst[j] += v
+	}
+}
+
+// Scatter accumulates a gathered batch into the private copy.
+func (p *densePrivate[T]) Scatter(idx []int32, vals []T) {
+	buf := p.buf
+	for j, i := range idx {
+		buf[i] += vals[j]
+	}
+}
+
+func (p *densePrivate[T]) Done() {}
 
 // Private allocates (or re-zeroes, when the reducer is reused across
 // regions) the thread's full copy.
@@ -48,31 +72,35 @@ func (d *Dense[T]) Private(tid int) Private[T] {
 	} else {
 		clear(d.bufs[tid])
 	}
+	d.active[tid] = true
 	d.privs[tid] = densePrivate[T]{buf: d.bufs[tid]}
 	return &d.privs[tid]
 }
 
-// Finalize combines all private copies into the target serially.
+// Finalize combines the private copies issued this region into the target
+// serially. Copies are kept (still charged to Bytes) for reuse by the
+// next region; Release frees them.
 func (d *Dense[T]) Finalize() {
 	for tid, buf := range d.bufs {
-		if buf == nil {
+		if !d.active[tid] {
 			continue
 		}
 		for i, v := range buf {
 			d.out[i] += v
 		}
-		d.release(tid)
+		d.active[tid] = false
 	}
 }
 
-// FinalizeWith combines all private copies with the team: each member
+// FinalizeWith combines the private copies with the team: each member
 // merges every copy over a disjoint segment of the array, the tree-free
-// analogue of a parallel OpenMP reduction combine.
+// analogue of a parallel OpenMP reduction combine. Copies are retained
+// exactly as in Finalize.
 func (d *Dense[T]) FinalizeWith(t *par.Team) {
 	t.Run(func(tid int) {
 		from, to := par.StaticRange(0, len(d.out), tid, t.Size())
-		for _, buf := range d.bufs {
-			if buf == nil {
+		for src, buf := range d.bufs {
+			if !d.active[src] {
 				continue
 			}
 			for i := from; i < to; i++ {
@@ -80,18 +108,23 @@ func (d *Dense[T]) FinalizeWith(t *par.Team) {
 			}
 		}
 	})
-	for tid := range d.bufs {
-		d.release(tid)
+	for tid := range d.active {
+		d.active[tid] = false
 	}
 }
 
-func (d *Dense[T]) release(tid int) {
-	if d.bufs[tid] == nil {
-		return
-	}
+// Release frees the retained private copies. Call it when the reducer
+// will not run another region soon and the memory should go back.
+func (d *Dense[T]) Release() {
 	var zero T
-	d.mem.Free(memtrack.SliceBytes(len(d.out), unsafe.Sizeof(zero)))
-	d.bufs[tid] = nil
+	for tid := range d.bufs {
+		if d.bufs[tid] == nil {
+			continue
+		}
+		d.mem.Free(memtrack.SliceBytes(len(d.out), unsafe.Sizeof(zero)))
+		d.bufs[tid] = nil
+		d.active[tid] = false
+	}
 }
 
 func (d *Dense[T]) Bytes() int64     { return d.mem.Bytes() }

@@ -17,6 +17,12 @@ import (
 // is disjoint. The strategy excels when the indices a thread updates
 // mostly coincide with its static ownership range (e.g. the near one-to-one
 // loop-counter-to-location mapping of the convolution back-propagation).
+//
+// Memory accounting is capacity-based: queue storage grows in Add (and
+// the bulk paths) and is retained across regions for reuse, so Bytes
+// reports the capacity the reducer actually holds — including after
+// Finalize — and PeakBytes no longer under-reports once queues persist
+// past their first region.
 type Keeper[T num.Float] struct {
 	out     []T
 	threads int
@@ -25,9 +31,11 @@ type Keeper[T num.Float] struct {
 	mem     memtrack.Counter
 }
 
-// NewKeeper wraps out for a team of the given size.
+// NewKeeper wraps out for a team of the given size. Arrays longer than
+// MaxInt32 are rejected: the update-request queues store int32 indices.
 func NewKeeper[T num.Float](out []T, threads int) *Keeper[T] {
 	validate(out, threads)
+	validateIndex32(len(out))
 	chunk := (len(out) + threads - 1) / threads
 	if chunk < 1 {
 		chunk = 1
@@ -57,6 +65,9 @@ type keeperPrivate[T num.Float] struct {
 	tid    int
 	qIdx   [][]int32 // per destination owner
 	qVal   [][]T
+	// charged is the queue capacity in bytes this private has reported
+	// to the parent counter; growth is charged as it happens.
+	charged int64
 }
 
 // Add writes owned locations directly and enqueues an update request with
@@ -67,23 +78,104 @@ func (p *keeperPrivate[T]) Add(i int, v T) {
 		p.out[i] += v
 		return
 	}
-	p.qIdx[o] = append(p.qIdx[o], int32(i))
-	p.qVal[o] = append(p.qVal[o], v)
+	qi, qv := p.qIdx[o], p.qVal[o]
+	ci, cv := cap(qi), cap(qv)
+	qi = append(qi, int32(i))
+	qv = append(qv, v)
+	if cap(qi) != ci || cap(qv) != cv {
+		p.grew(cap(qi)-ci, cap(qv)-cv)
+	}
+	p.qIdx[o], p.qVal[o] = qi, qv
 }
 
-// Done charges the queued requests to the memory counter.
+// AddN splits a contiguous run at the static ownership boundaries: the
+// thread's own segment is applied as one plain loop, and each foreign
+// segment is appended to the owner's queue in bulk.
+func (p *keeperPrivate[T]) AddN(base int, vals []T) {
+	for len(vals) > 0 {
+		o := base / p.chunk
+		n := (o+1)*p.chunk - base
+		if n > len(vals) {
+			n = len(vals)
+		}
+		if o == p.tid {
+			dst := p.out[base : base+n]
+			for j, v := range vals[:n] {
+				dst[j] += v
+			}
+		} else {
+			qi, qv := p.qIdx[o], p.qVal[o]
+			ci, cv := cap(qi), cap(qv)
+			for j := 0; j < n; j++ {
+				qi = append(qi, int32(base+j))
+			}
+			qv = append(qv, vals[:n]...)
+			if cap(qi) != ci || cap(qv) != cv {
+				p.grew(cap(qi)-ci, cap(qv)-cv)
+			}
+			p.qIdx[o], p.qVal[o] = qi, qv
+		}
+		base += n
+		vals = vals[n:]
+	}
+}
+
+// Scatter partitions a gathered batch by owner in one pass: maximal runs
+// of consecutive entries with the same owner are applied directly (own
+// range) or appended to the owner's queue as whole sub-slices.
+func (p *keeperPrivate[T]) Scatter(idx []int32, vals []T) {
+	chunk, tid := p.chunk, p.tid
+	for j := 0; j < len(idx); {
+		o := int(idx[j]) / chunk
+		k := j + 1
+		for k < len(idx) && int(idx[k])/chunk == o {
+			k++
+		}
+		if o == tid {
+			out := p.out
+			for m := j; m < k; m++ {
+				out[idx[m]] += vals[m]
+			}
+		} else {
+			qi, qv := p.qIdx[o], p.qVal[o]
+			ci, cv := cap(qi), cap(qv)
+			qi = append(qi, idx[j:k]...)
+			qv = append(qv, vals[j:k]...)
+			if cap(qi) != ci || cap(qv) != cv {
+				p.grew(cap(qi)-ci, cap(qv)-cv)
+			}
+			p.qIdx[o], p.qVal[o] = qi, qv
+		}
+		j = k
+	}
+}
+
+// grew charges a queue capacity increase (in elements) to the parent
+// counter the moment the backing arrays are reallocated.
+func (p *keeperPrivate[T]) grew(dIdx, dVal int) {
+	var zero T
+	d := int64(dIdx)*4 + int64(dVal)*int64(unsafe.Sizeof(zero))
+	p.charged += d
+	p.parent.mem.Alloc(d)
+}
+
+// Done reconciles the charged bytes with the exact queue capacity held.
 func (p *keeperPrivate[T]) Done() {
 	var zero T
-	per := int64(4 + unsafe.Sizeof(zero))
-	var n int64
+	var capBytes int64
 	for o := range p.qIdx {
-		n += int64(len(p.qIdx[o]))
+		capBytes += int64(cap(p.qIdx[o]))*4 + int64(cap(p.qVal[o]))*int64(unsafe.Sizeof(zero))
 	}
-	p.parent.mem.Alloc(n * per)
+	if d := capBytes - p.charged; d > 0 {
+		p.parent.mem.Alloc(d)
+	} else if d < 0 {
+		p.parent.mem.Free(-d)
+	}
+	p.charged = capBytes
 }
 
 // Private returns the accessor for thread tid; queues retained from a
-// previous region are reused (emptied, capacity kept).
+// previous region are reused (emptied, capacity kept and still charged).
 func (k *Keeper[T]) Private(tid int) Private[T] {
 	p := &k.privs[tid]
 	for o := range p.qIdx {
@@ -93,12 +185,12 @@ func (k *Keeper[T]) Private(tid int) Private[T] {
 	return p
 }
 
-// Finalize applies every queued update request serially.
+// Finalize applies every queued update request serially. Queue capacity
+// is retained (and stays charged to Bytes) for the next region.
 func (k *Keeper[T]) Finalize() {
 	for o := 0; o < k.threads; o++ {
 		k.applyOwner(o)
 	}
-	k.mem.Free(k.mem.Bytes())
 }
 
 // FinalizeWith applies the update requests with the team, one owner range
@@ -110,7 +202,6 @@ func (k *Keeper[T]) FinalizeWith(t *par.Team) {
 			k.applyOwner(o)
 		}
 	})
-	k.mem.Free(k.mem.Bytes())
 }
 
 // applyOwner applies all requests destined for owner o's range.

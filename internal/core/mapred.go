@@ -5,6 +5,7 @@ import (
 
 	"spray/internal/memtrack"
 	"spray/internal/num"
+	"spray/internal/par"
 )
 
 // mapEntryOverhead estimates the per-entry heap cost of a Go map beyond
@@ -29,9 +30,11 @@ type MapRed[T num.Float] struct {
 	mem     memtrack.Counter
 }
 
-// NewMap wraps out for a team of the given size.
+// NewMap wraps out for a team of the given size. Arrays longer than
+// MaxInt32 are rejected: map keys are int32.
 func NewMap[T num.Float](out []T, threads int) *MapRed[T] {
 	validate(out, threads)
+	validateIndex32(len(out))
 	return &MapRed[T]{
 		out:     out,
 		maps:    make([]map[int32]T, threads),
@@ -46,6 +49,23 @@ type mapPrivate[T num.Float] struct {
 }
 
 func (p *mapPrivate[T]) Add(i int, v T) { p.m[int32(i)] += v }
+
+// AddN accumulates a contiguous run; the per-element hash probe remains,
+// but the interface dispatch is paid once per run.
+func (p *mapPrivate[T]) AddN(base int, vals []T) {
+	m := p.m
+	for j, v := range vals {
+		m[int32(base+j)] += v
+	}
+}
+
+// Scatter accumulates a gathered batch; keys are already int32.
+func (p *mapPrivate[T]) Scatter(idx []int32, vals []T) {
+	m := p.m
+	for j, i := range idx {
+		m[i] += vals[j]
+	}
+}
 
 // Done charges the entries accumulated this region to the memory counter.
 func (p *mapPrivate[T]) Done() {
@@ -63,6 +83,11 @@ func (m *MapRed[T]) Private(tid int) Private[T] {
 	m.privs[tid] = mapPrivate[T]{parent: m, m: m.maps[tid]}
 	return &m.privs[tid]
 }
+
+// FinalizeWith delegates to the serial Finalize; map iteration order is
+// nondeterministic, so splitting the fold across a team buys nothing the
+// paper's results would keep.
+func (m *MapRed[T]) FinalizeWith(*par.Team) { m.Finalize() }
 
 // Finalize folds every private map into the target and clears the maps.
 func (m *MapRed[T]) Finalize() {

@@ -5,6 +5,7 @@ import (
 
 	"spray/internal/memtrack"
 	"spray/internal/num"
+	"spray/internal/par"
 )
 
 // Ordered is a reproducibility-oriented reducer the paper lists as future
@@ -29,9 +30,11 @@ type Ordered[T num.Float] struct {
 	mem     memtrack.Counter
 }
 
-// NewOrdered wraps out for a team of the given size.
+// NewOrdered wraps out for a team of the given size. Arrays longer than
+// MaxInt32 are rejected: the update logs store int32 indices.
 func NewOrdered[T num.Float](out []T, threads int) *Ordered[T] {
 	validate(out, threads)
+	validateIndex32(len(out))
 	o := &Ordered[T]{out: out, threads: threads}
 	o.privs = make([]orderedPrivate[T], threads)
 	for t := range o.privs {
@@ -52,6 +55,23 @@ func (p *orderedPrivate[T]) Add(i int, v T) {
 	p.val = append(p.val, v)
 }
 
+// AddN logs a contiguous run; the value log is extended with one append.
+func (p *orderedPrivate[T]) AddN(base int, vals []T) {
+	idx := p.idx
+	for j := range vals {
+		idx = append(idx, int32(base+j))
+	}
+	p.idx = idx
+	p.val = append(p.val, vals...)
+}
+
+// Scatter logs a gathered batch with two whole-slice appends — the
+// replay order is unchanged, so determinism is preserved.
+func (p *orderedPrivate[T]) Scatter(idx []int32, vals []T) {
+	p.idx = append(p.idx, idx...)
+	p.val = append(p.val, vals...)
+}
+
 // Done charges the log to the memory counter.
 func (p *orderedPrivate[T]) Done() {
 	var zero T
@@ -66,6 +86,10 @@ func (o *Ordered[T]) Private(tid int) Private[T] {
 	p.val = p.val[:0]
 	return p
 }
+
+// FinalizeWith delegates to the serial Finalize: the canonical replay
+// order is the whole point of the strategy and cannot be split.
+func (o *Ordered[T]) FinalizeWith(*par.Team) { o.Finalize() }
 
 // Finalize replays all logs in canonical (thread id, program) order.
 func (o *Ordered[T]) Finalize() {

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spray"
+	"spray/internal/bench"
+	"spray/internal/sparse"
+)
+
+// BulkConfig parameterizes the bulk-update comparison: every strategy is
+// driven twice over the same workload — once through the element-wise
+// Add loop and once through the AddN/Scatter batch path — so the two
+// series isolate per-call dispatch and bounds-check overhead.
+type BulkConfig struct {
+	N          int // conv array length / tmv node count
+	Threads    []int
+	Strategies []spray.Strategy
+	Runner     bench.Runner
+}
+
+// DefaultBulkConfig selects the strategies where the batch path has a
+// structural shortcut (dense/block: contiguous runs; keeper: ownership
+// runs; atomic as the no-memory reference point).
+func DefaultBulkConfig(n, maxThreads int) BulkConfig {
+	return BulkConfig{
+		N:       n,
+		Threads: bench.ThreadCounts(maxThreads),
+		Strategies: []spray.Strategy{
+			spray.Dense(),
+			spray.Atomic(),
+			spray.BlockCAS(1024),
+			spray.Keeper(),
+		},
+		Runner: bench.DefaultRunner(),
+	}
+}
+
+// BulkConv compares element-wise against bulk accumulation on the conv
+// back-propagation workload (contiguous AddN runs).
+func BulkConv(cfg BulkConfig) *bench.Result {
+	res := &bench.Result{
+		Title:    fmt.Sprintf("Bulk fast path: conv back-propagation, each vs bulk (N=%d)", cfg.N),
+		XLabel:   "threads",
+		Baseline: ConvSequentialBaseline(ConvConfig{N: cfg.N, Runner: cfg.Runner}),
+		Notes: []string{
+			"<strategy>/each: one Add per tap; <strategy>/bulk: tiled AddN batches",
+		},
+	}
+	seed := convData(cfg.N)
+	out := make([]float32, cfg.N)
+	for _, st := range cfg.Strategies {
+		for _, th := range cfg.Threads {
+			team := spray.NewTeam(th)
+			r := spray.New(st, out, th)
+			each := cfg.Runner.AutoBench(func(iters int) {
+				for i := 0; i < iters; i++ {
+					convWeights.RunBackpropEach(team, r, seed)
+				}
+			})
+			res.AddPoint(st.String()+"/each", bench.Point{X: float64(th), Time: each, Bytes: r.PeakBytes()})
+			bulk := cfg.Runner.AutoBench(func(iters int) {
+				for i := 0; i < iters; i++ {
+					convWeights.RunBackprop(team, r, seed)
+				}
+			})
+			res.AddPoint(st.String()+"/bulk", bench.Point{X: float64(th), Time: bulk, Bytes: r.PeakBytes()})
+			team.Close()
+		}
+	}
+	return res
+}
+
+// BulkTMV compares element-wise against bulk accumulation on the CSR
+// transpose-matrix-vector workload (data-dependent Scatter batches over
+// each row's column list).
+func BulkTMV(cfg BulkConfig) *bench.Result {
+	a := sparse.Graph[float32](cfg.N, 8, 99)
+	res := &bench.Result{
+		Title:    fmt.Sprintf("Bulk fast path: transpose-matrix-vector, each vs bulk (%dx%d, %d nnz)", a.Rows, a.Cols, a.NNZ()),
+		XLabel:   "threads",
+		Baseline: TMVSequentialBaseline(TMVConfig{Matrix: a, Runner: cfg.Runner}),
+		Notes: []string{
+			"<strategy>/each: one Add per nonzero; <strategy>/bulk: one Scatter per row",
+		},
+	}
+	x := vecOnes(a.Rows)
+	y := make([]float32, a.Cols)
+	for _, st := range cfg.Strategies {
+		for _, th := range cfg.Threads {
+			team := spray.NewTeam(th)
+			r := spray.New(st, y, th)
+			each := cfg.Runner.AutoBench(func(iters int) {
+				for i := 0; i < iters; i++ {
+					sparse.RunTMulVecEach(team, r, a, x)
+				}
+			})
+			res.AddPoint(st.String()+"/each", bench.Point{X: float64(th), Time: each, Bytes: r.PeakBytes()})
+			bulk := cfg.Runner.AutoBench(func(iters int) {
+				for i := 0; i < iters; i++ {
+					sparse.RunTMulVec(team, r, a, x)
+				}
+			})
+			res.AddPoint(st.String()+"/bulk", bench.Point{X: float64(th), Time: bulk, Bytes: r.PeakBytes()})
+			team.Close()
+		}
+	}
+	return res
+}

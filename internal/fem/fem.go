@@ -11,6 +11,7 @@ package fem
 
 import (
 	"fmt"
+	"math"
 
 	"spray"
 	"spray/internal/hexelem"
@@ -28,8 +29,10 @@ type Problem struct {
 	// assembly target.
 	Pattern *sparse.CSR[float64]
 	// scatter[8*8*e + 8*a + b] is the position in Pattern.Val receiving
-	// element e's local contribution K[a][b].
-	scatter []int64
+	// element e's local contribution K[a][b]. Positions are int32 so each
+	// element's 64 entries form a ready-made Scatter index batch; the
+	// constructor rejects patterns with more than MaxInt32 entries.
+	scatter []int32
 }
 
 // NewProblem performs the symbolic phase: build the sparsity pattern of
@@ -48,16 +51,19 @@ func NewProblem(m *mesh.Hex) *Problem {
 		}
 	}
 	pattern := sparse.FromCOO(coo)
+	if nnz := pattern.NNZ(); nnz > math.MaxInt32 {
+		panic(fmt.Sprintf("fem: pattern has %d entries, exceeding the int32 scatter-map range", nnz))
+	}
 
 	p := &Problem{Mesh: m, Pattern: pattern}
-	p.scatter = make([]int64, 64*m.NumElem)
+	p.scatter = make([]int32, 64*m.NumElem)
 	for e := 0; e < m.NumElem; e++ {
 		nl := m.ElemNodes(e)
 		for a := 0; a < 8; a++ {
 			row := int(nl[a])
 			for b := 0; b < 8; b++ {
 				pos := p.find(row, nl[b])
-				p.scatter[64*e+8*a+b] = pos
+				p.scatter[64*e+8*a+b] = int32(pos)
 			}
 		}
 	}
@@ -88,16 +94,18 @@ func (p *Problem) NNZ() int { return p.Pattern.NNZ() }
 // operator on element e using one-point (mean) quadrature with the
 // element's B matrix: K[a][b] = (∇φa · ∇φb) · V ≈ (bᵃ · bᵇ)/V at the
 // element center. Exact for rectangular elements up to the hourglass
-// space; standard mean-quadrature FEM.
-func (p *Problem) elemStiffness(e int, x, y, z *[8]float64, k *[8][8]float64) {
+// space; standard mean-quadrature FEM. The matrix is written row-major
+// into k (k[8a+b] = K[a][b]) so it doubles as the value batch of the
+// element's single Scatter.
+func (p *Problem) elemStiffness(e int, x, y, z *[8]float64, k *[64]float64) {
 	var b [3][8]float64
 	vol := hexelem.ShapeFunctionDerivatives(x, y, z, &b)
 	inv := 1.0 / vol
 	for a := 0; a < 8; a++ {
 		for c := a; c < 8; c++ {
 			v := (b[0][a]*b[0][c] + b[1][a]*b[1][c] + b[2][a]*b[2][c]) * inv
-			k[a][c] = v
-			k[c][a] = v
+			k[8*a+c] = v
+			k[8*c+a] = v
 		}
 	}
 }
@@ -120,18 +128,16 @@ func (p *Problem) AssembleWith(team *spray.Team, r spray.Reducer[float64]) {
 	c := par.NewChunker(par.Static(), 0, m.NumElem, team.Size())
 	team.Run(func(tid int) {
 		acc := r.Private(tid)
+		bacc := spray.Bulk(acc)
 		var x, y, z [8]float64
-		var k [8][8]float64
+		var k [64]float64
 		c.For(tid, func(from, to int) {
 			for e := from; e < to; e++ {
 				m.CollectCoords(e, &x, &y, &z)
 				p.elemStiffness(e, &x, &y, &z, &k)
-				base := 64 * e
-				for a := 0; a < 8; a++ {
-					for b := 0; b < 8; b++ {
-						acc.Add(int(p.scatter[base+8*a+b]), k[a][b])
-					}
-				}
+				// The precomputed scatter map is the index batch; the
+				// flat local matrix is the value batch.
+				bacc.Scatter(p.scatter[64*e:64*e+64], k[:])
 			}
 		})
 		acc.Done()
@@ -144,15 +150,13 @@ func (p *Problem) AssembleSeq() {
 	clear(p.Pattern.Val)
 	m := p.Mesh
 	var x, y, z [8]float64
-	var k [8][8]float64
+	var k [64]float64
 	for e := 0; e < m.NumElem; e++ {
 		m.CollectCoords(e, &x, &y, &z)
 		p.elemStiffness(e, &x, &y, &z, &k)
 		base := 64 * e
-		for a := 0; a < 8; a++ {
-			for b := 0; b < 8; b++ {
-				p.Pattern.Val[p.scatter[base+8*a+b]] += k[a][b]
-			}
+		for j, v := range k {
+			p.Pattern.Val[p.scatter[base+j]] += v
 		}
 	}
 }
@@ -169,16 +173,21 @@ func (p *Problem) AssembleLoad(team *spray.Team, st spray.Strategy, f float64, r
 	c := par.NewChunker(par.Static(), 0, m.NumElem, team.Size())
 	team.Run(func(tid int) {
 		acc := r.Private(tid)
+		bacc := spray.Bulk(acc)
 		var x, y, z [8]float64
 		var b [3][8]float64
+		var vals [8]float64
 		c.For(tid, func(from, to int) {
 			for e := from; e < to; e++ {
 				m.CollectCoords(e, &x, &y, &z)
 				vol := hexelem.ShapeFunctionDerivatives(&x, &y, &z, &b)
 				contrib := f * vol / 8
-				for _, n := range m.ElemNodes(e) {
-					acc.Add(int(n), contrib)
+				for j := range vals {
+					vals[j] = contrib
 				}
+				// The connectivity list is the index batch: one Scatter
+				// spreads the element's load to its 8 corners.
+				bacc.Scatter(m.ElemNodes(e), vals[:])
 			}
 		})
 		acc.Done()

@@ -158,7 +158,7 @@ func TestScatterOverlapIsReal(t *testing.T) {
 	// otherwise this test case would not exercise reductions at all.
 	m := mesh.NewHex(2, 1)
 	p := NewProblem(m)
-	seen := map[int64]bool{}
+	seen := map[int32]bool{}
 	shared := 0
 	for _, pos := range p.scatter {
 		if seen[pos] {

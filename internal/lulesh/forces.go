@@ -124,17 +124,17 @@ func (s *sprayScheme) scatter(d *Domain, t *par.Team, calc elemForceFunc) {
 		ax := s.rx.Private(tid)
 		ay := s.ry.Private(tid)
 		az := s.rz.Private(tid)
+		bx, by, bz := spray.Bulk(ax), spray.Bulk(ay), spray.Bulk(az)
 		c.For(tid, func(from, to int) {
 			var fx, fy, fz [8]float64
 			for e := from; e < to; e++ {
 				calc(e, &fx, &fy, &fz)
+				// The element's connectivity list is the index batch: one
+				// Scatter per axis deposits all eight corner forces.
 				nl := m.ElemNodes(e)
-				for ci := 0; ci < 8; ci++ {
-					n := int(nl[ci])
-					ax.Add(n, fx[ci])
-					ay.Add(n, fy[ci])
-					az.Add(n, fz[ci])
-				}
+				bx.Scatter(nl, fx[:])
+				by.Scatter(nl, fy[:])
+				bz.Scatter(nl, fz[:])
 			}
 		})
 		ax.Done()

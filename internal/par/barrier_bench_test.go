@@ -1,0 +1,116 @@
+package par
+
+import (
+	"sync"
+	"testing"
+)
+
+// condBarrier is the previous all-under-mutex Barrier implementation,
+// kept verbatim as the baseline for the spin-then-park comparison:
+//
+//	go test ./internal/par -run '^$' -bench 'Barrier|RegionJoin'
+type condBarrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newCondBarrier(n int) *condBarrier {
+	b := &condBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *condBarrier) Wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// hammerBarrier measures rounds per second with n goroutines crossing the
+// barrier back to back — the pure synchronization cost with no loop work
+// in between, the worst case for a parking design.
+func hammerBarrier(b *testing.B, n int, wait func()) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for g := 0; g < n; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				wait()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkBarrierSpinPark4(b *testing.B) {
+	bar := NewBarrier(4)
+	hammerBarrier(b, 4, bar.Wait)
+}
+
+func BenchmarkBarrierCondBased4(b *testing.B) {
+	bar := newCondBarrier(4)
+	hammerBarrier(b, 4, bar.Wait)
+}
+
+func BenchmarkBarrierSpinPark8(b *testing.B) {
+	bar := NewBarrier(8)
+	hammerBarrier(b, 8, bar.Wait)
+}
+
+func BenchmarkBarrierCondBased8(b *testing.B) {
+	bar := newCondBarrier(8)
+	hammerBarrier(b, 8, bar.Wait)
+}
+
+// BenchmarkRegionJoin measures the full cost of an empty parallel region
+// — dispatch plus join — which is the latency every RunReduction pays on
+// top of its loop body and fix-up.
+func BenchmarkRegionJoin(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(benchName(n), func(b *testing.B) {
+			team := NewTeam(n)
+			defer team.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				team.Run(func(int) {})
+			}
+		})
+	}
+}
+
+// BenchmarkRegionBarrier measures a region whose body crosses the team
+// barrier twice, the shape of phased kernels like the LULESH time step.
+func BenchmarkRegionBarrier(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(benchName(n), func(b *testing.B) {
+			team := NewTeam(n)
+			defer team.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				team.Run(func(int) {
+					team.Barrier()
+					team.Barrier()
+				})
+			}
+		})
+	}
+}
+
+func benchName(n int) string {
+	return "threads-" + string(rune('0'+n))
+}

@@ -19,7 +19,40 @@ func TMulVec[T num.Float](team *spray.Team, st spray.Strategy, a *CSR[T], x, y [
 // RunTMulVec runs one y += Aᵀ·x region through an existing Reducer
 // wrapping y, for callers that apply the product repeatedly (iterative
 // solvers, PageRank) and want to reuse the reducer's internal state.
+//
+// Each CSR row's updates are a gathered batch whose index list already
+// exists (a.Col): the row's values are scaled by x[i] into a per-thread
+// scratch buffer and pushed with one Scatter per row, so the reducer
+// pays one dynamic dispatch per row instead of one per nonzero.
 func RunTMulVec[T num.Float](team *spray.Team, r spray.Reducer[T], a *CSR[T], x []T) {
+	spray.RunReduction(team, r, 0, a.Rows, spray.Static(),
+		func(acc spray.Accessor[T], from, to int) {
+			bacc := spray.Bulk(acc)
+			var vals []T
+			for i := from; i < to; i++ {
+				xi := x[i]
+				k0, k1 := a.RowPtr[i], a.RowPtr[i+1]
+				n := int(k1 - k0)
+				if n == 0 {
+					continue
+				}
+				if cap(vals) < n {
+					vals = make([]T, n)
+				}
+				vals = vals[:n]
+				row := a.Val[k0:k1]
+				for k, v := range row {
+					vals[k] = v * xi
+				}
+				bacc.Scatter(a.Col[k0:k1], vals)
+			}
+		})
+}
+
+// RunTMulVecEach is the element-wise form of RunTMulVec — one Add per
+// nonzero, the paper's original loop shape. Kept as the reference (and
+// benchmark baseline) for the bulk path.
+func RunTMulVecEach[T num.Float](team *spray.Team, r spray.Reducer[T], a *CSR[T], x []T) {
 	spray.RunReduction(team, r, 0, a.Rows, spray.Static(),
 		func(acc spray.Accessor[T], from, to int) {
 			for i := from; i < to; i++ {

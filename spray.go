@@ -43,35 +43,55 @@ type Value = num.Float
 // place of the original array; Add is the equivalent of the paper's
 // overloaded "+=" on a reducer object. An Accessor must only be used by
 // the goroutine it was issued to.
-type Accessor[T Value] interface {
-	// Add accumulates v into position i of the wrapped array.
-	Add(i int, v T)
-	// Done marks the end of this goroutine's updates for the region.
-	// RunReduction and ReduceFor call it for you.
-	Done()
-}
+//
+// It is a generic alias for the core accessor interface, so reducers
+// constructed by New hand their concrete accessors straight to the body
+// with no wrapping layer in between. The methods are:
+//
+//	Add(i int, v T)  // accumulate v into position i
+//	Done()           // end of this goroutine's updates for the region
+//
+// RunReduction and ReduceFor call Done for you.
+type Accessor[T Value] = core.Private[T]
+
+// BulkAccessor extends Accessor with the batched update entry points:
+//
+//	AddN(base int, vals []T)        // out[base+j] += vals[j]
+//	Scatter(idx []int32, vals []T)  // out[idx[j]] += vals[j]
+//
+// Both are exactly equivalent to the element-wise Add loop in ascending
+// batch order (bitwise, including compensated-summation order), but pay
+// one dynamic dispatch per batch instead of one per element and let each
+// strategy exploit the batch structure (a block reducer resolves the
+// target block once per run, the keeper partitions a scatter by owner
+// with whole-slice appends, ...). Obtain one with Bulk.
+type BulkAccessor[T Value] = core.BulkPrivate[T]
+
+// Bulk upgrades an Accessor to its bulk interface. Every strategy built
+// by New implements the bulk methods natively, so this is a single type
+// assertion; third-party accessors that only implement Add are wrapped
+// in an element-wise shim. Call it once per chunk, outside the inner
+// loop.
+func Bulk[T Value](acc Accessor[T]) BulkAccessor[T] { return core.AsBulk(acc) }
 
 // Reducer wraps a target array with a reduction strategy. Private hands
 // out per-thread Accessors; after Finalize returns, every contribution
 // made through any Accessor is visible in the wrapped array and the
 // Reducer is ready for the next region.
-type Reducer[T Value] interface {
-	// Private returns the Accessor for thread tid in [0, Threads()).
-	Private(tid int) Accessor[T]
-	// Finalize runs the strategy's fix-up/combine step serially.
-	Finalize()
-	// FinalizeWith runs the fix-up step using the team when the
-	// strategy can parallelize it, falling back to Finalize otherwise.
-	FinalizeWith(t *Team)
-	// Bytes reports the strategy's current extra memory in bytes.
-	Bytes() int64
-	// PeakBytes reports the high-water mark of extra memory.
-	PeakBytes() int64
-	// Name identifies the strategy, e.g. "block-cas-1024".
-	Name() string
-	// Threads returns the team size the Reducer was built for.
-	Threads() int
-}
+//
+// It is a generic alias for the core reducer interface; New returns the
+// concrete strategy behind this interface directly, with no adapter
+// layer. The methods are:
+//
+//	Private(tid int) Accessor[T]  // per-thread accessor, tid in [0, Threads())
+//	Finalize()                    // serial fix-up/combine step
+//	FinalizeWith(t *Team)         // fix-up using the team where the strategy
+//	                              // can parallelize it (else same as Finalize)
+//	Bytes() int64                 // current extra memory in bytes
+//	PeakBytes() int64             // high-water mark of extra memory
+//	Name() string                 // strategy name, e.g. "block-cas-1024"
+//	Threads() int                 // team size the Reducer was built for
+type Reducer[T Value] = core.Reducer[T]
 
 // Team re-exports the goroutine team of the parallel runtime; it plays the
 // role of an OpenMP thread team. Create with NewTeam, reuse across
@@ -107,60 +127,40 @@ func ParallelFor(t *Team, lo, hi int, s Schedule, body func(tid, from, to int)) 
 	par.ParallelFor(t, lo, hi, s, body)
 }
 
-// adapter lifts a core reducer into the public interface. The only reason
-// it exists is Go's nominal matching of method signatures across packages;
-// it adds one interface conversion per thread per region.
-type adapter[T Value] struct{ r core.Reducer[T] }
-
-func (a adapter[T]) Private(tid int) Accessor[T] { return a.r.Private(tid) }
-func (a adapter[T]) Finalize()                   { a.r.Finalize() }
-func (a adapter[T]) Bytes() int64                { return a.r.Bytes() }
-func (a adapter[T]) PeakBytes() int64            { return a.r.PeakBytes() }
-func (a adapter[T]) Name() string                { return a.r.Name() }
-func (a adapter[T]) Threads() int                { return a.r.Threads() }
-
-func (a adapter[T]) FinalizeWith(t *Team) {
-	if pf, ok := a.r.(core.ParallelFinalizer); ok {
-		pf.FinalizeWith(t)
-		return
-	}
-	a.r.Finalize()
-}
-
 // New constructs a Reducer applying strategy st to out for a team of the
 // given size. The constructor itself is cheap; strategy-specific memory is
-// allocated lazily per thread (the paper's init semantics).
+// allocated lazily per thread (the paper's init semantics). The returned
+// interface is backed by the concrete strategy type directly — there is
+// no adapter layer between the public API and the implementation.
 func New[T Value](st Strategy, out []T, threads int) Reducer[T] {
-	var r core.Reducer[T]
 	switch st.kind {
 	case kindBuiltin:
-		r = core.NewBuiltin(out, threads)
+		return core.NewBuiltin(out, threads)
 	case kindDense:
-		r = core.NewDense(out, threads)
+		return core.NewDense(out, threads)
 	case kindAtomic:
-		r = core.NewAtomic(out, threads)
+		return core.NewAtomic(out, threads)
 	case kindMap:
-		r = core.NewMap(out, threads)
+		return core.NewMap(out, threads)
 	case kindBTree:
-		r = core.NewBTree(out, threads, st.param)
+		return core.NewBTree(out, threads, st.param)
 	case kindBlockPrivate:
-		r = core.NewBlock(out, threads, st.param, core.BlockPrivate)
+		return core.NewBlock(out, threads, st.param, core.BlockPrivate)
 	case kindBlockLock:
-		r = core.NewBlock(out, threads, st.param, core.BlockLock)
+		return core.NewBlock(out, threads, st.param, core.BlockLock)
 	case kindBlockCAS:
-		r = core.NewBlock(out, threads, st.param, core.BlockCAS)
+		return core.NewBlock(out, threads, st.param, core.BlockCAS)
 	case kindKeeper:
-		r = core.NewKeeper(out, threads)
+		return core.NewKeeper(out, threads)
 	case kindOrdered:
-		r = core.NewOrdered(out, threads)
+		return core.NewOrdered(out, threads)
 	case kindAuto:
-		r = core.NewAdaptive(out, threads, st.param)
+		return core.NewAdaptive(out, threads, st.param)
 	case kindCompensated:
-		r = core.NewCompensated(out, threads)
+		return core.NewCompensated(out, threads)
 	default:
 		panic("spray: unknown strategy " + st.String())
 	}
-	return adapter[T]{r: r}
 }
 
 // RunReduction executes one parallel region over [lo, hi): each team

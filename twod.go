@@ -14,12 +14,18 @@ import (
 
 // Accessor2D is the per-goroutine handle of a 2-D reduction.
 type Accessor2D[T Value] struct {
-	acc  Accessor[T]
+	acc  BulkAccessor[T]
 	cols int
 }
 
 // Add accumulates v into position (i, j).
 func (a Accessor2D[T]) Add(i, j int, v T) { a.acc.Add(i*a.cols+j, v) }
+
+// AddN accumulates a contiguous run within row i starting at column j:
+// out[i][j+m] += vals[m]. The run must not cross the row boundary (that
+// would silently wrap into the next row); it maps to a single 1-D AddN,
+// so the underlying strategy's bulk fast path applies.
+func (a Accessor2D[T]) AddN(i, j int, vals []T) { a.acc.AddN(i*a.cols+j, vals) }
 
 // Done marks the end of this goroutine's updates for the region.
 func (a Accessor2D[T]) Done() { a.acc.Done() }
@@ -41,7 +47,7 @@ func New2D[T Value](st Strategy, out []T, rows, cols, threads int) Reducer2D[T] 
 
 // Private returns the 2-D accessor for thread tid.
 func (r Reducer2D[T]) Private(tid int) Accessor2D[T] {
-	return Accessor2D[T]{acc: r.r.Private(tid), cols: r.cols}
+	return Accessor2D[T]{acc: Bulk(r.r.Private(tid)), cols: r.cols}
 }
 
 // Finalize runs the underlying strategy's fix-up step serially.
