@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench-smoke bench-bulk clean
+.PHONY: ci build vet test race race-telemetry bench-smoke overhead-smoke bench-bulk bench-observability clean
 
-# ci is the tier-1 gate plus a cheap benchmark compile-and-run check.
-ci: vet build test race bench-smoke
+# ci is the tier-1 gate plus cheap benchmark compile-and-run checks,
+# including the telemetry-off overhead guard.
+ci: vet build test race bench-smoke overhead-smoke
 
 build:
 	$(GO) build ./...
@@ -17,16 +18,34 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-telemetry focuses the race detector on the observability layer:
+# counter shards, region timing, panic wrapping, and the export registry.
+race-telemetry:
+	$(GO) test -race -run 'Telemetry|Instrument|Timing|WorkerPanic|Concurrent' ./internal/telemetry ./internal/par ./internal/core ./internal/memtrack .
+
 # bench-smoke proves the bulk benchmarks run end to end without timing
 # anything meaningful (100 iterations per case).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkBulk' -benchtime 100x .
+
+# overhead-smoke asserts the telemetry-off budget (the gated accessor must
+# stay within 2% of an ungated replica) and exercises the off/on conv
+# benchmark once.
+overhead-smoke:
+	$(GO) test -run TestTelemetryOffOverhead -count 1 ./internal/core
+	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverheadConv' -benchtime 20x .
 
 # bench-bulk produces the each-vs-bulk comparison tables and
 # BENCH_bulk.json at a size that finishes in a few minutes.
 bench-bulk:
 	$(GO) run ./cmd/spraybulk -json BENCH_bulk.json
 
+# bench-observability runs the bulk comparison instrumented: every
+# measured point carries its strategy counters in the JSON, and a region
+# report per point goes to stdout.
+bench-observability:
+	$(GO) run ./cmd/spraybulk -n 200000 -max-threads 4 -repeats 1 -min-time 20ms -metrics -json BENCH_observability.json
+
 clean:
-	rm -f BENCH_bulk.json
+	rm -f BENCH_bulk.json BENCH_observability.json
 	$(GO) clean ./...

@@ -3,6 +3,9 @@ package spray
 import (
 	"fmt"
 	"sync/atomic"
+
+	"spray/internal/core"
+	"spray/internal/telemetry"
 )
 
 // Checked wraps a Reducer with contract validation for debugging: Add
@@ -104,6 +107,14 @@ func (c *checkedReducer[T]) Finalize() {
 func (c *checkedReducer[T]) FinalizeWith(t *Team) {
 	c.inner.FinalizeWith(t)
 	c.reset()
+}
+
+// Instrument forwards the telemetry recorder to the wrapped reducer, so a
+// Checked reducer stays observable.
+func (c *checkedReducer[T]) Instrument(rec *telemetry.Recorder) {
+	if in, ok := c.inner.(core.Instrumentable); ok {
+		in.Instrument(rec)
+	}
 }
 
 func (c *checkedReducer[T]) Bytes() int64     { return c.inner.Bytes() }

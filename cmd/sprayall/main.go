@@ -18,9 +18,11 @@ import (
 	"runtime"
 	"time"
 
+	"spray"
 	"spray/internal/bench"
 	"spray/internal/experiments"
 	"spray/internal/sparse"
+	"spray/internal/telemetry"
 )
 
 func main() {
@@ -30,6 +32,8 @@ func main() {
 		outdir     = flag.String("outdir", "", "directory for per-figure CSV files")
 		repeats    = flag.Int("repeats", 3, "samples per configuration")
 		minTime    = flag.Duration("min-time", 100*time.Millisecond, "minimum time per sample")
+		metrics    = flag.Bool("metrics", false, "instrument the conv figures: print a telemetry region report per measured point (stderr) and attach counters to CSV-adjacent data")
+		metricsWeb = flag.String("metrics-http", "", "serve live telemetry on this address while running; implies -metrics")
 	)
 	flag.Parse()
 
@@ -41,13 +45,31 @@ func main() {
 
 	fmt.Printf("spray evaluation — GOMAXPROCS=%d, paper-scale=%v\n\n", runtime.GOMAXPROCS(0), *paper)
 
+	if *metricsWeb != "" {
+		telemetry.Publish("spray")
+		addr, err := telemetry.Serve(*metricsWeb)
+		fatalIf(err)
+		fmt.Fprintf(os.Stderr, "telemetry: live counters on http://%s/debug/vars\n", addr)
+		*metrics = true
+	}
+	var onReport func(label string, rep spray.RegionReport)
+	if *metrics {
+		onReport = func(label string, rep spray.RegionReport) {
+			fmt.Fprintf(os.Stderr, "-- %s --\n%s\n", label, rep)
+		}
+	}
+
 	// Figures 11-13: convolution back-propagation.
 	convCfg := experiments.DefaultConvConfig(convN, *maxThreads)
 	convCfg.Runner = runner
+	convCfg.Instrument = *metrics
+	convCfg.OnReport = onReport
 	emit(experiments.Fig11(convCfg), *outdir, "fig11.csv")
 	emit(experiments.Fig12(convCfg), *outdir, "fig12.csv")
 	f13 := experiments.DefaultFig13Config(convN, *maxThreads)
 	f13.Runner = runner
+	f13.Instrument = *metrics
+	f13.OnReport = onReport
 	emit(experiments.Fig13(f13), *outdir, "fig13.csv")
 
 	// Figures 14-15: transpose-matrix-vector products.

@@ -19,6 +19,7 @@ import (
 	"spray/internal/bench"
 	"spray/internal/cliutil"
 	"spray/internal/experiments"
+	"spray/internal/telemetry"
 )
 
 func main() {
@@ -31,11 +32,26 @@ func main() {
 		repeats    = flag.Int("repeats", 3, "samples per configuration")
 		minTime    = flag.Duration("min-time", 100*time.Millisecond, "minimum time per sample")
 		jsonPath   = flag.String("json", "BENCH_bulk.json", "write results as JSON to this path (empty = skip)")
+		metrics    = flag.Bool("metrics", false, "instrument every run: print a telemetry region report per measured point and attach the counters to the JSON output")
+		metricsWeb = flag.String("metrics-http", "", "serve live telemetry on this address (e.g. localhost:6060) while running; implies -metrics")
 	)
 	flag.Parse()
 
 	cfg := experiments.DefaultBulkConfig(*n, *maxThreads)
 	cfg.Runner = bench.Runner{Repeats: *repeats, MinTime: *minTime}
+	if *metricsWeb != "" {
+		telemetry.Publish("spray")
+		addr, err := telemetry.Serve(*metricsWeb)
+		fatalIf(err)
+		fmt.Fprintf(os.Stderr, "telemetry: live counters on http://%s/debug/vars\n", addr)
+		*metrics = true
+	}
+	if *metrics {
+		cfg.Telemetry = true
+		cfg.OnReport = func(label string, rep spray.RegionReport) {
+			fmt.Printf("-- %s --\n%s\n", label, rep)
+		}
+	}
 	if *threads != "" {
 		ths, err := cliutil.ParseInts(*threads)
 		fatalIf(err)

@@ -9,6 +9,7 @@
 //	go run ./examples/quickstart
 //	go run ./examples/quickstart -strategy atomic
 //	go run ./examples/quickstart -strategy keeper
+//	go run ./examples/quickstart -strategy block-cas-1024 -instrument
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 	strategyName := flag.String("strategy", "block-cas-1024", "reduction strategy (see spray.AllStrategies)")
 	n := flag.Int("n", 1_000_000, "array size")
 	threads := flag.Int("threads", 4, "goroutines")
+	instrument := flag.Bool("instrument", false, "attach telemetry and print the region report")
 	flag.Parse()
 
 	// The one line that selects the implementation — everything below
@@ -45,10 +47,21 @@ func main() {
 	team := spray.NewTeam(*threads)
 	defer team.Close()
 
+	r := spray.New(strategy, out, *threads)
+
+	// Telemetry is opt-in: with -instrument the reducer counts its
+	// strategy events and the team times its regions; without it the run
+	// pays nothing.
+	var ins *spray.Instrumentation
+	if *instrument {
+		ins = spray.Instrument(team, r)
+		defer ins.Detach()
+	}
+
 	// The paper's Figure 2 loop: two scattered updates per iteration
 	// create loop-carried dependencies that forbid naive parallelism.
-	// ReduceFor makes it safe under any strategy.
-	r := spray.ReduceFor(team, strategy, out, 1, *n, spray.Static(),
+	// RunReduction makes it safe under any strategy.
+	spray.RunReduction(team, r, 1, *n, spray.Static(),
 		func(acc spray.Accessor[float64], from, to int) {
 			for i := from; i < to; i++ {
 				acc.Add(i-1, fn0(in[i]))
@@ -70,4 +83,7 @@ func main() {
 	}
 	fmt.Printf("strategy %-18s threads %d  n %d  -> correct; peak strategy memory %d bytes\n",
 		r.Name(), *threads, *n, r.PeakBytes())
+	if ins != nil {
+		fmt.Print(ins.Report())
+	}
 }

@@ -72,6 +72,24 @@ func (tp Tape) Add(i int, _ float64) {
 	tp.t.touched[int32(i)]++
 }
 
+// AddN records a contiguous run of updates, the bulk analogue of Add: a
+// workload driven through the bulk fast path records exactly the same
+// access pattern as its element-wise form.
+func (tp Tape) AddN(base int, vals []float64) {
+	tp.t.updates += len(vals)
+	for j := range vals {
+		tp.t.touched[int32(base+j)]++
+	}
+}
+
+// Scatter records a gathered batch of updates.
+func (tp Tape) Scatter(idx []int32, vals []float64) {
+	tp.t.updates += len(idx)
+	for _, i := range idx {
+		tp.t.touched[i]++
+	}
+}
+
 // Done is a no-op, present to satisfy the accessor contract.
 func (tp Tape) Done() {}
 

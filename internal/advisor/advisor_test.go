@@ -207,3 +207,41 @@ func TestRecorderValidation(t *testing.T) {
 		}()
 	}
 }
+
+func TestBulkRecordingMatchesElementWise(t *testing.T) {
+	// The same workload expressed through Add, AddN and Scatter must
+	// analyze identically: the tape's bulk entry points exist so bulk-path
+	// loop bodies can be recorded unchanged.
+	const n, threads, iters = 4096, 4, 1024
+	elem := NewRecorder(n, threads, 0)
+	bulk := NewRecorder(n, threads, 0)
+	for tid := 0; tid < threads; tid++ {
+		from, to := par.StaticRange(0, iters, tid, threads)
+		et, bt := elem.Tape(tid), bulk.Tape(tid)
+		for i := from; i < to; i++ {
+			base := (i * 3) % (n - 8)
+			vals := []float64{1, 2, 3, 4}
+			for j, v := range vals {
+				et.Add(base+j, v)
+			}
+			bt.AddN(base, vals)
+			idx := []int32{int32(i % n), int32((i * 7) % n)}
+			for j, ix := range idx {
+				et.Add(int(ix), vals[j])
+			}
+			bt.Scatter(idx, vals[:len(idx)])
+		}
+		et.Done()
+		bt.Done()
+	}
+	er, br := elem.Analyze(), bulk.Analyze()
+	if er != br {
+		t.Errorf("bulk recording diverges from element-wise:\nelem: %+v\nbulk: %+v", er, br)
+	}
+	if er.Updates != iters*6 {
+		t.Errorf("updates = %d, want %d", er.Updates, iters*6)
+	}
+	if eRec, bRec := er.Recommend(), br.Recommend(); eRec != bRec {
+		t.Errorf("recommendations diverge: %v vs %v", eRec, bRec)
+	}
+}

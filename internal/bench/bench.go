@@ -98,6 +98,11 @@ type Point struct {
 	X     float64 // thread count, block size, ...
 	Time  stats.Summary
 	Bytes int64 // strategy memory overhead
+	// Counters carries the non-zero telemetry counters accumulated while
+	// the point was measured (nil when the run was not instrumented).
+	// They appear in the JSON output only; the text table and CSV keep
+	// their layout.
+	Counters map[string]uint64 `json:",omitempty"`
 }
 
 // Series is one line of a figure: a named strategy across the sweep.

@@ -8,6 +8,7 @@ import (
 	"spray/internal/memtrack"
 	"spray/internal/num"
 	"spray/internal/par"
+	"spray/internal/telemetry"
 )
 
 // adaptiveThresholdShift sets the escalation threshold relative to the
@@ -41,7 +42,14 @@ type Adaptive[T num.Float] struct {
 	nblocks int
 	privs   []adaptivePrivate[T]
 	mem     memtrack.Counter
+	tel     *telemetry.Recorder
 }
+
+// Instrument attaches (nil: detaches) the telemetry recorder. Instrumented
+// accessors count atomic-regime CAS retries and regime escalations, so the
+// counters show where the strategy converged (escalations vs cas-retries
+// mirrors the hot/cold split of the access pattern).
+func (a *Adaptive[T]) Instrument(rec *telemetry.Recorder) { a.tel = rec }
 
 // NewAdaptive wraps out for a team of the given size. blockSize must be a
 // positive power of two.
@@ -67,17 +75,23 @@ type adaptivePrivate[T num.Float] struct {
 	touch  []uint32 // per block: atomic-update count until escalation
 	view   [][]T    // per block: nil = atomic regime, else private copy
 	owned  []privBlock[T]
+	tel    *telemetry.Shard
 }
 
 // Add updates through the current regime of the target block, escalating
 // to a private copy when the block crosses the hotness threshold.
 func (p *adaptivePrivate[T]) Add(i int, v T) {
+	p.tel.Inc(telemetry.Updates)
 	b := i >> p.parent.shift
 	if view := p.view[b]; view != nil {
 		view[i&p.parent.mask] += v
 		return
 	}
-	num.AtomicAdd(p.parent.out, i, v)
+	if p.tel == nil {
+		num.AtomicAdd(p.parent.out, i, v)
+	} else {
+		p.tel.Add(telemetry.CASRetries, num.AtomicAddRetries(p.parent.out, i, v))
+	}
 	p.touch[b]++
 	if int(p.touch[b]) > p.parent.bsize>>adaptiveThresholdShift {
 		p.escalate(int(b))
@@ -92,6 +106,7 @@ func (p *adaptivePrivate[T]) Add(i int, v T) {
 // per-element Add so escalation fires at exactly the same element as in
 // the element-wise path — keeping bulk bitwise-equivalent to Add.
 func (p *adaptivePrivate[T]) AddN(base int, vals []T) {
+	p.tel.IncRun(telemetry.AddNRuns, len(vals))
 	parent := p.parent
 	bsize, mask, shift := parent.bsize, parent.mask, parent.shift
 	thresh := uint32(bsize >> adaptiveThresholdShift)
@@ -109,8 +124,16 @@ func (p *adaptivePrivate[T]) AddN(base int, vals []T) {
 			}
 		} else if p.touch[b]+uint32(n) <= thresh {
 			out := parent.out[base : base+n]
-			for j, v := range vals[:n] {
-				num.AtomicAdd(out, j, v)
+			if p.tel == nil {
+				for j, v := range vals[:n] {
+					num.AtomicAdd(out, j, v)
+				}
+			} else {
+				retries := 0
+				for j, v := range vals[:n] {
+					retries += num.AtomicAddRetries(out, j, v)
+				}
+				p.tel.Add(telemetry.CASRetries, retries)
 			}
 			p.touch[b] += uint32(n)
 		} else {
@@ -125,7 +148,10 @@ func (p *adaptivePrivate[T]) AddN(base int, vals []T) {
 
 // Scatter accumulates a gathered batch; each element goes through the
 // regular regime dispatch so escalation behaves exactly as with Add.
+// (Instrumented, the delegated elements also count as updates — the
+// counters expose that this bulk path degrades to element-wise work.)
 func (p *adaptivePrivate[T]) Scatter(idx []int32, vals []T) {
+	p.tel.IncRun(telemetry.ScatterRuns, len(idx))
 	for j, i := range idx {
 		p.Add(int(i), vals[j])
 	}
@@ -133,6 +159,7 @@ func (p *adaptivePrivate[T]) Scatter(idx []int32, vals []T) {
 
 // escalate privatizes block b for this thread.
 func (p *adaptivePrivate[T]) escalate(b int) {
+	p.tel.Inc(telemetry.Escalations)
 	parent := p.parent
 	base := b << parent.shift
 	end := base + parent.bsize
@@ -153,6 +180,7 @@ func (p *adaptivePrivate[T]) Done() {}
 func (a *Adaptive[T]) Private(tid int) Private[T] {
 	p := &a.privs[tid]
 	p.parent = a
+	p.tel = a.tel.Shard(tid)
 	if p.touch == nil {
 		p.touch = make([]uint32, a.nblocks)
 		p.view = make([][]T, a.nblocks)

@@ -10,6 +10,7 @@ import (
 	"spray/internal/memtrack"
 	"spray/internal/num"
 	"spray/internal/par"
+	"spray/internal/telemetry"
 )
 
 // BlockMode selects among the three BlockReduction flavors in the paper.
@@ -74,7 +75,13 @@ type Block[T num.Float] struct {
 	locks []sync.Mutex   // lock mode only
 	privs []blockPrivate[T]
 	mem   memtrack.Counter
+	tel   *telemetry.Recorder
 }
+
+// Instrument attaches (nil: detaches) the telemetry recorder. Instrumented
+// accessors additionally count block claims, claim-CAS losses, fallback
+// privatizations and pool reuses in acquire.
+func (bl *Block[T]) Instrument(rec *telemetry.Recorder) { bl.tel = rec }
 
 // NewBlock wraps out for a team of the given size. blockSize must be a
 // positive power of two.
@@ -118,10 +125,12 @@ type blockPrivate[T num.Float] struct {
 	view   [][]T // per block: nil until touched, then direct or private storage
 	fallbk []privBlock[T]
 	pool   [][]T // full-size fallback buffers recycled from earlier regions
+	tel    *telemetry.Shard
 }
 
 // Add accumulates into the block view, resolving the block on first touch.
 func (p *blockPrivate[T]) Add(i int, v T) {
+	p.tel.Inc(telemetry.Updates)
 	b := i >> p.parent.shift
 	view := p.view[b]
 	if view == nil {
@@ -135,6 +144,7 @@ func (p *blockPrivate[T]) Add(i int, v T) {
 // shift/mask/nil-check of Add is paid once per block instead of once per
 // element.
 func (p *blockPrivate[T]) AddN(base int, vals []T) {
+	p.tel.IncRun(telemetry.AddNRuns, len(vals))
 	bsize, mask, shift := p.parent.bsize, p.parent.mask, p.parent.shift
 	for len(vals) > 0 {
 		b := base >> shift
@@ -160,6 +170,7 @@ func (p *blockPrivate[T]) AddN(base int, vals []T) {
 // across consecutive indices that land in the same block (the common case
 // for sorted or clustered index streams).
 func (p *blockPrivate[T]) Scatter(idx []int32, vals []T) {
+	p.tel.IncRun(telemetry.ScatterRuns, len(idx))
 	mask, shift := p.parent.mask, p.parent.shift
 	lastB := -1
 	var view []T
@@ -191,21 +202,27 @@ func (p *blockPrivate[T]) acquire(b int) []T {
 	case BlockCAS:
 		if parent.owner[b].CompareAndSwap(freeOwner, p.tid) {
 			view = parent.out[base:end]
+			p.tel.Inc(telemetry.BlockClaims)
+		} else {
+			p.tel.Inc(telemetry.CASRetries) // lost the claim race (or late arrival)
 		}
 	case BlockLock:
 		parent.locks[b].Lock()
 		if parent.owner[b].Load() == freeOwner {
 			parent.owner[b].Store(p.tid)
 			view = parent.out[base:end]
+			p.tel.Inc(telemetry.BlockClaims)
 		}
 		parent.locks[b].Unlock()
 	}
 	if view == nil { // BlockPrivate mode, or the block is owned elsewhere
+		p.tel.Inc(telemetry.BlockFallbacks)
 		need := end - base
 		if n := len(p.pool); n > 0 {
 			view = p.pool[n-1][:need] // pooled buffers have cap >= bsize
 			p.pool = p.pool[:n-1]
 			clear(view)
+			p.tel.Inc(telemetry.PoolReuses)
 		} else {
 			var zero T
 			view = make([]T, need)
@@ -231,6 +248,7 @@ func (bl *Block[T]) Private(tid int) Private[T] {
 	}
 	p.parent = bl
 	p.tid = int32(tid)
+	p.tel = bl.tel.Shard(tid)
 	p.fallbk = p.fallbk[:0]
 	return p
 }

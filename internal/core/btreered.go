@@ -7,6 +7,7 @@ import (
 	"spray/internal/memtrack"
 	"spray/internal/num"
 	"spray/internal/par"
+	"spray/internal/telemetry"
 )
 
 // BTreeRed is the SPRAY MapReduction variant backed by the from-scratch
@@ -21,7 +22,12 @@ type BTreeRed[T num.Float] struct {
 	threads int
 	degree  int
 	mem     memtrack.Counter
+	tel     *telemetry.Recorder
 }
+
+// Instrument attaches (nil: detaches) the telemetry recorder. The entries
+// counter records how many distinct keys each thread's tree held at Done.
+func (b *BTreeRed[T]) Instrument(rec *telemetry.Recorder) { b.tel = rec }
 
 // NewBTree wraps out for a team of the given size; degree <= 0 selects the
 // B-tree's default node degree. Arrays longer than MaxInt32 are rejected:
@@ -41,15 +47,18 @@ func NewBTree[T num.Float](out []T, threads, degree int) *BTreeRed[T] {
 type btreePrivate[T num.Float] struct {
 	parent *BTreeRed[T]
 	tree   *btree.Tree[T]
+	tel    *telemetry.Shard
 }
 
 func (p *btreePrivate[T]) Add(i int, v T) {
+	p.tel.Inc(telemetry.Updates)
 	p.tree.Accumulate(int32(i), func(slot *T) { *slot += v })
 }
 
 // AddN accumulates a contiguous run; each element still costs a tree
 // descent, but the batch pays one interface dispatch.
 func (p *btreePrivate[T]) AddN(base int, vals []T) {
+	p.tel.IncRun(telemetry.AddNRuns, len(vals))
 	for j := range vals {
 		v := vals[j]
 		p.tree.Accumulate(int32(base+j), func(slot *T) { *slot += v })
@@ -58,6 +67,7 @@ func (p *btreePrivate[T]) AddN(base int, vals []T) {
 
 // Scatter accumulates a gathered batch.
 func (p *btreePrivate[T]) Scatter(idx []int32, vals []T) {
+	p.tel.IncRun(telemetry.ScatterRuns, len(idx))
 	for j, i := range idx {
 		v := vals[j]
 		p.tree.Accumulate(i, func(slot *T) { *slot += v })
@@ -65,14 +75,17 @@ func (p *btreePrivate[T]) Scatter(idx []int32, vals []T) {
 }
 
 // Done charges the tree nodes grown this region to the memory counter.
-func (p *btreePrivate[T]) Done() { p.parent.mem.Alloc(p.tree.Bytes()) }
+func (p *btreePrivate[T]) Done() {
+	p.tel.Add(telemetry.Entries, p.tree.Len())
+	p.parent.mem.Alloc(p.tree.Bytes())
+}
 
 // Private returns the thread's private tree accessor.
 func (b *BTreeRed[T]) Private(tid int) Private[T] {
 	if b.trees[tid] == nil {
 		b.trees[tid] = btree.New[T](b.degree)
 	}
-	b.privs[tid] = btreePrivate[T]{parent: b, tree: b.trees[tid]}
+	b.privs[tid] = btreePrivate[T]{parent: b, tree: b.trees[tid], tel: b.tel.Shard(tid)}
 	return &b.privs[tid]
 }
 

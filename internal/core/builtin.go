@@ -7,6 +7,7 @@ import (
 	"spray/internal/memtrack"
 	"spray/internal/num"
 	"spray/internal/par"
+	"spray/internal/telemetry"
 )
 
 // Builtin models the reduction strategy the OpenMP standard prescribes for
@@ -29,7 +30,11 @@ type Builtin[T num.Float] struct {
 	threads int
 	mu      sync.Mutex
 	mem     memtrack.Counter
+	tel     *telemetry.Recorder
 }
+
+// Instrument attaches (nil: detaches) the telemetry recorder.
+func (d *Builtin[T]) Instrument(rec *telemetry.Recorder) { d.tel = rec }
 
 // NewBuiltin wraps out for a team of the given size.
 func NewBuiltin[T num.Float](out []T, threads int) *Builtin[T] {
@@ -40,12 +45,17 @@ func NewBuiltin[T num.Float](out []T, threads int) *Builtin[T] {
 type builtinPrivate[T num.Float] struct {
 	parent *Builtin[T]
 	buf    []T
+	tel    *telemetry.Shard
 }
 
-func (p *builtinPrivate[T]) Add(i int, v T) { p.buf[i] += v }
+func (p *builtinPrivate[T]) Add(i int, v T) {
+	p.tel.Inc(telemetry.Updates)
+	p.buf[i] += v
+}
 
 // AddN accumulates a contiguous run into the private copy.
 func (p *builtinPrivate[T]) AddN(base int, vals []T) {
+	p.tel.IncRun(telemetry.AddNRuns, len(vals))
 	dst := p.buf[base : base+len(vals)]
 	for j, v := range vals {
 		dst[j] += v
@@ -54,6 +64,7 @@ func (p *builtinPrivate[T]) AddN(base int, vals []T) {
 
 // Scatter accumulates a gathered batch into the private copy.
 func (p *builtinPrivate[T]) Scatter(idx []int32, vals []T) {
+	p.tel.IncRun(telemetry.ScatterRuns, len(idx))
 	buf := p.buf
 	for j, i := range idx {
 		buf[i] += vals[j]
@@ -79,7 +90,7 @@ func (d *Builtin[T]) Private(tid int) Private[T] {
 	var zero T
 	buf := make([]T, len(d.out))
 	d.mem.Alloc(memtrack.SliceBytes(len(d.out), unsafe.Sizeof(zero)))
-	d.privs[tid] = builtinPrivate[T]{parent: d, buf: buf}
+	d.privs[tid] = builtinPrivate[T]{parent: d, buf: buf, tel: d.tel.Shard(tid)}
 	return &d.privs[tid]
 }
 

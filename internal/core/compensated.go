@@ -6,6 +6,7 @@ import (
 	"spray/internal/memtrack"
 	"spray/internal/num"
 	"spray/internal/par"
+	"spray/internal/telemetry"
 )
 
 // Compensated is a dense privatized reducer whose per-thread partials use
@@ -23,7 +24,11 @@ type Compensated[T num.Float] struct {
 	privs   []compensatedPrivate[T]
 	threads int
 	mem     memtrack.Counter
+	tel     *telemetry.Recorder
 }
+
+// Instrument attaches (nil: detaches) the telemetry recorder.
+func (c *Compensated[T]) Instrument(rec *telemetry.Recorder) { c.tel = rec }
 
 // NewCompensated wraps out for a team of the given size.
 func NewCompensated[T num.Float](out []T, threads int) *Compensated[T] {
@@ -39,10 +44,12 @@ func NewCompensated[T num.Float](out []T, threads int) *Compensated[T] {
 
 type compensatedPrivate[T num.Float] struct {
 	sum, comp []T
+	tel       *telemetry.Shard
 }
 
 // Add folds v into slot i with a Kahan update.
 func (p *compensatedPrivate[T]) Add(i int, v T) {
+	p.tel.Inc(telemetry.Updates)
 	y := v - p.comp[i]
 	t := p.sum[i] + y
 	p.comp[i] = (t - p.sum[i]) - y
@@ -53,6 +60,7 @@ func (p *compensatedPrivate[T]) Add(i int, v T) {
 // batch order — bit-identical to the element-wise path, with the bounds
 // checks hoisted.
 func (p *compensatedPrivate[T]) AddN(base int, vals []T) {
+	p.tel.IncRun(telemetry.AddNRuns, len(vals))
 	sum := p.sum[base : base+len(vals)]
 	comp := p.comp[base : base+len(vals)]
 	for j, v := range vals {
@@ -66,6 +74,7 @@ func (p *compensatedPrivate[T]) AddN(base int, vals []T) {
 // Scatter folds a gathered batch with per-element Kahan updates in batch
 // order.
 func (p *compensatedPrivate[T]) Scatter(idx []int32, vals []T) {
+	p.tel.IncRun(telemetry.ScatterRuns, len(idx))
 	sum, comp := p.sum, p.comp
 	for j, i := range idx {
 		v := vals[j]
@@ -89,7 +98,7 @@ func (c *Compensated[T]) Private(tid int) Private[T] {
 		clear(c.sums[tid])
 		clear(c.comps[tid])
 	}
-	c.privs[tid] = compensatedPrivate[T]{sum: c.sums[tid], comp: c.comps[tid]}
+	c.privs[tid] = compensatedPrivate[T]{sum: c.sums[tid], comp: c.comps[tid], tel: c.tel.Shard(tid)}
 	return &c.privs[tid]
 }
 

@@ -28,6 +28,7 @@ import (
 
 	"spray/internal/num"
 	"spray/internal/par"
+	"spray/internal/telemetry"
 )
 
 // Private is the per-thread accessor handed to the parallel region body.
@@ -117,6 +118,20 @@ type Reducer[T num.Float] interface {
 	Name() string
 	// Threads returns the team size the reducer was built for.
 	Threads() int
+}
+
+// Instrumentable is implemented by every reducer in this package: it
+// attaches a telemetry recorder whose per-thread shards the strategy's
+// accessors bump from their hot paths (update counts, bulk runs, CAS
+// retries, block claims/fallbacks, keeper queue traffic, entry counts).
+//
+// Attaching nil detaches the recorder and restores the uninstrumented
+// fast path — accessors hold a per-thread shard pointer resolved in
+// Private, so a detached reducer pays exactly one predictable nil-check
+// branch per instrumented event. Instrument must not be called while a
+// region is running.
+type Instrumentable interface {
+	Instrument(rec *telemetry.Recorder)
 }
 
 // validate panics on obviously bad constructor arguments; reducers are

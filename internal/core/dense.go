@@ -6,6 +6,7 @@ import (
 	"spray/internal/memtrack"
 	"spray/internal/num"
 	"spray/internal/par"
+	"spray/internal/telemetry"
 )
 
 // Dense is the SPRAY DenseReduction: every thread receives a full private
@@ -25,7 +26,12 @@ type Dense[T num.Float] struct {
 	privs   []densePrivate[T]
 	threads int
 	mem     memtrack.Counter
+	tel     *telemetry.Recorder
 }
+
+// Instrument attaches (nil: detaches) the telemetry recorder; shards are
+// handed to accessors in Private.
+func (d *Dense[T]) Instrument(rec *telemetry.Recorder) { d.tel = rec }
 
 // NewDense wraps out for a team of the given size.
 func NewDense[T num.Float](out []T, threads int) *Dense[T] {
@@ -39,13 +45,20 @@ func NewDense[T num.Float](out []T, threads int) *Dense[T] {
 	}
 }
 
-type densePrivate[T num.Float] struct{ buf []T }
+type densePrivate[T num.Float] struct {
+	buf []T
+	tel *telemetry.Shard
+}
 
-func (p *densePrivate[T]) Add(i int, v T) { p.buf[i] += v }
+func (p *densePrivate[T]) Add(i int, v T) {
+	p.tel.Inc(telemetry.Updates)
+	p.buf[i] += v
+}
 
 // AddN accumulates a contiguous run into the private copy — a plain
 // vectorizable loop with the bounds check hoisted out.
 func (p *densePrivate[T]) AddN(base int, vals []T) {
+	p.tel.IncRun(telemetry.AddNRuns, len(vals))
 	dst := p.buf[base : base+len(vals)]
 	for j, v := range vals {
 		dst[j] += v
@@ -54,6 +67,7 @@ func (p *densePrivate[T]) AddN(base int, vals []T) {
 
 // Scatter accumulates a gathered batch into the private copy.
 func (p *densePrivate[T]) Scatter(idx []int32, vals []T) {
+	p.tel.IncRun(telemetry.ScatterRuns, len(idx))
 	buf := p.buf
 	for j, i := range idx {
 		buf[i] += vals[j]
@@ -73,7 +87,7 @@ func (d *Dense[T]) Private(tid int) Private[T] {
 		clear(d.bufs[tid])
 	}
 	d.active[tid] = true
-	d.privs[tid] = densePrivate[T]{buf: d.bufs[tid]}
+	d.privs[tid] = densePrivate[T]{buf: d.bufs[tid], tel: d.tel.Shard(tid)}
 	return &d.privs[tid]
 }
 

@@ -6,6 +6,7 @@ import (
 	"spray/internal/memtrack"
 	"spray/internal/num"
 	"spray/internal/par"
+	"spray/internal/telemetry"
 )
 
 // Keeper is the SPRAY KeeperReduction: ownership of the reduction
@@ -29,7 +30,14 @@ type Keeper[T num.Float] struct {
 	chunk   int // ceil(len(out)/threads); owner(i) = i/chunk
 	privs   []keeperPrivate[T]
 	mem     memtrack.Counter
+	tel     *telemetry.Recorder
 }
+
+// Instrument attaches (nil: detaches) the telemetry recorder. Instrumented
+// accessors split updates into keeper-owned (direct writes into the static
+// ownership range) and keeper-foreign (enqueued update requests); the
+// fix-up counts drained requests against the destination owner's shard.
+func (k *Keeper[T]) Instrument(rec *telemetry.Recorder) { k.tel = rec }
 
 // NewKeeper wraps out for a team of the given size. Arrays longer than
 // MaxInt32 are rejected: the update-request queues store int32 indices.
@@ -68,16 +76,20 @@ type keeperPrivate[T num.Float] struct {
 	// charged is the queue capacity in bytes this private has reported
 	// to the parent counter; growth is charged as it happens.
 	charged int64
+	tel     *telemetry.Shard
 }
 
 // Add writes owned locations directly and enqueues an update request with
 // the owner otherwise.
 func (p *keeperPrivate[T]) Add(i int, v T) {
+	p.tel.Inc(telemetry.Updates)
 	o := i / p.chunk
 	if o == p.tid {
+		p.tel.Inc(telemetry.KeeperOwned)
 		p.out[i] += v
 		return
 	}
+	p.tel.Inc(telemetry.KeeperForeign)
 	qi, qv := p.qIdx[o], p.qVal[o]
 	ci, cv := cap(qi), cap(qv)
 	qi = append(qi, int32(i))
@@ -92,6 +104,7 @@ func (p *keeperPrivate[T]) Add(i int, v T) {
 // thread's own segment is applied as one plain loop, and each foreign
 // segment is appended to the owner's queue in bulk.
 func (p *keeperPrivate[T]) AddN(base int, vals []T) {
+	p.tel.IncRun(telemetry.AddNRuns, len(vals))
 	for len(vals) > 0 {
 		o := base / p.chunk
 		n := (o+1)*p.chunk - base
@@ -99,11 +112,13 @@ func (p *keeperPrivate[T]) AddN(base int, vals []T) {
 			n = len(vals)
 		}
 		if o == p.tid {
+			p.tel.Add(telemetry.KeeperOwned, n)
 			dst := p.out[base : base+n]
 			for j, v := range vals[:n] {
 				dst[j] += v
 			}
 		} else {
+			p.tel.Add(telemetry.KeeperForeign, n)
 			qi, qv := p.qIdx[o], p.qVal[o]
 			ci, cv := cap(qi), cap(qv)
 			for j := 0; j < n; j++ {
@@ -124,6 +139,7 @@ func (p *keeperPrivate[T]) AddN(base int, vals []T) {
 // of consecutive entries with the same owner are applied directly (own
 // range) or appended to the owner's queue as whole sub-slices.
 func (p *keeperPrivate[T]) Scatter(idx []int32, vals []T) {
+	p.tel.IncRun(telemetry.ScatterRuns, len(idx))
 	chunk, tid := p.chunk, p.tid
 	for j := 0; j < len(idx); {
 		o := int(idx[j]) / chunk
@@ -132,11 +148,13 @@ func (p *keeperPrivate[T]) Scatter(idx []int32, vals []T) {
 			k++
 		}
 		if o == tid {
+			p.tel.Add(telemetry.KeeperOwned, k-j)
 			out := p.out
 			for m := j; m < k; m++ {
 				out[idx[m]] += vals[m]
 			}
 		} else {
+			p.tel.Add(telemetry.KeeperForeign, k-j)
 			qi, qv := p.qIdx[o], p.qVal[o]
 			ci, cv := cap(qi), cap(qv)
 			qi = append(qi, idx[j:k]...)
@@ -178,6 +196,7 @@ func (p *keeperPrivate[T]) Done() {
 // previous region are reused (emptied, capacity kept and still charged).
 func (k *Keeper[T]) Private(tid int) Private[T] {
 	p := &k.privs[tid]
+	p.tel = k.tel.Shard(tid)
 	for o := range p.qIdx {
 		p.qIdx[o] = p.qIdx[o][:0]
 		p.qVal[o] = p.qVal[o][:0]
@@ -204,11 +223,15 @@ func (k *Keeper[T]) FinalizeWith(t *par.Team) {
 	})
 }
 
-// applyOwner applies all requests destined for owner o's range.
+// applyOwner applies all requests destined for owner o's range. Drained
+// requests are counted against the owner's shard (each owner is processed
+// by exactly one member in FinalizeWith, so the writes stay single-writer).
 func (k *Keeper[T]) applyOwner(o int) {
+	sh := k.tel.Shard(o)
 	for t := range k.privs {
 		p := &k.privs[t]
 		idx, val := p.qIdx[o], p.qVal[o]
+		sh.Add(telemetry.KeeperDrained, len(idx))
 		for j, i := range idx {
 			k.out[i] += val[j]
 		}

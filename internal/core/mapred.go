@@ -6,6 +6,7 @@ import (
 	"spray/internal/memtrack"
 	"spray/internal/num"
 	"spray/internal/par"
+	"spray/internal/telemetry"
 )
 
 // mapEntryOverhead estimates the per-entry heap cost of a Go map beyond
@@ -28,7 +29,12 @@ type MapRed[T num.Float] struct {
 	privs   []mapPrivate[T]
 	threads int
 	mem     memtrack.Counter
+	tel     *telemetry.Recorder
 }
+
+// Instrument attaches (nil: detaches) the telemetry recorder. The entries
+// counter records how many distinct keys each thread held at Done.
+func (m *MapRed[T]) Instrument(rec *telemetry.Recorder) { m.tel = rec }
 
 // NewMap wraps out for a team of the given size. Arrays longer than
 // MaxInt32 are rejected: map keys are int32.
@@ -46,13 +52,18 @@ func NewMap[T num.Float](out []T, threads int) *MapRed[T] {
 type mapPrivate[T num.Float] struct {
 	parent *MapRed[T]
 	m      map[int32]T
+	tel    *telemetry.Shard
 }
 
-func (p *mapPrivate[T]) Add(i int, v T) { p.m[int32(i)] += v }
+func (p *mapPrivate[T]) Add(i int, v T) {
+	p.tel.Inc(telemetry.Updates)
+	p.m[int32(i)] += v
+}
 
 // AddN accumulates a contiguous run; the per-element hash probe remains,
 // but the interface dispatch is paid once per run.
 func (p *mapPrivate[T]) AddN(base int, vals []T) {
+	p.tel.IncRun(telemetry.AddNRuns, len(vals))
 	m := p.m
 	for j, v := range vals {
 		m[int32(base+j)] += v
@@ -61,6 +72,7 @@ func (p *mapPrivate[T]) AddN(base int, vals []T) {
 
 // Scatter accumulates a gathered batch; keys are already int32.
 func (p *mapPrivate[T]) Scatter(idx []int32, vals []T) {
+	p.tel.IncRun(telemetry.ScatterRuns, len(idx))
 	m := p.m
 	for j, i := range idx {
 		m[i] += vals[j]
@@ -69,6 +81,7 @@ func (p *mapPrivate[T]) Scatter(idx []int32, vals []T) {
 
 // Done charges the entries accumulated this region to the memory counter.
 func (p *mapPrivate[T]) Done() {
+	p.tel.Add(telemetry.Entries, len(p.m))
 	var zero T
 	per := int64(4 + unsafe.Sizeof(zero) + mapEntryOverhead)
 	p.parent.mem.Alloc(int64(len(p.m)) * per)
@@ -80,7 +93,7 @@ func (m *MapRed[T]) Private(tid int) Private[T] {
 	if m.maps[tid] == nil {
 		m.maps[tid] = make(map[int32]T)
 	}
-	m.privs[tid] = mapPrivate[T]{parent: m, m: m.maps[tid]}
+	m.privs[tid] = mapPrivate[T]{parent: m, m: m.maps[tid], tel: m.tel.Shard(tid)}
 	return &m.privs[tid]
 }
 

@@ -6,6 +6,7 @@ import (
 	"spray/internal/memtrack"
 	"spray/internal/num"
 	"spray/internal/par"
+	"spray/internal/telemetry"
 )
 
 // Ordered is a reproducibility-oriented reducer the paper lists as future
@@ -28,7 +29,12 @@ type Ordered[T num.Float] struct {
 	privs   []orderedPrivate[T]
 	threads int
 	mem     memtrack.Counter
+	tel     *telemetry.Recorder
 }
+
+// Instrument attaches (nil: detaches) the telemetry recorder. The entries
+// counter records each thread's log length at Done.
+func (o *Ordered[T]) Instrument(rec *telemetry.Recorder) { o.tel = rec }
 
 // NewOrdered wraps out for a team of the given size. Arrays longer than
 // MaxInt32 are rejected: the update logs store int32 indices.
@@ -47,16 +53,19 @@ type orderedPrivate[T num.Float] struct {
 	parent *Ordered[T]
 	idx    []int32
 	val    []T
+	tel    *telemetry.Shard
 }
 
 // Add logs the update in thread-program order.
 func (p *orderedPrivate[T]) Add(i int, v T) {
+	p.tel.Inc(telemetry.Updates)
 	p.idx = append(p.idx, int32(i))
 	p.val = append(p.val, v)
 }
 
 // AddN logs a contiguous run; the value log is extended with one append.
 func (p *orderedPrivate[T]) AddN(base int, vals []T) {
+	p.tel.IncRun(telemetry.AddNRuns, len(vals))
 	idx := p.idx
 	for j := range vals {
 		idx = append(idx, int32(base+j))
@@ -68,12 +77,14 @@ func (p *orderedPrivate[T]) AddN(base int, vals []T) {
 // Scatter logs a gathered batch with two whole-slice appends — the
 // replay order is unchanged, so determinism is preserved.
 func (p *orderedPrivate[T]) Scatter(idx []int32, vals []T) {
+	p.tel.IncRun(telemetry.ScatterRuns, len(idx))
 	p.idx = append(p.idx, idx...)
 	p.val = append(p.val, vals...)
 }
 
 // Done charges the log to the memory counter.
 func (p *orderedPrivate[T]) Done() {
+	p.tel.Add(telemetry.Entries, len(p.idx))
 	var zero T
 	p.parent.mem.Alloc(int64(len(p.idx)) * int64(4+unsafe.Sizeof(zero)))
 }
@@ -82,6 +93,7 @@ func (p *orderedPrivate[T]) Done() {
 // previous region are reused with their capacity.
 func (o *Ordered[T]) Private(tid int) Private[T] {
 	p := &o.privs[tid]
+	p.tel = o.tel.Shard(tid)
 	p.idx = p.idx[:0]
 	p.val = p.val[:0]
 	return p

@@ -17,6 +17,13 @@ type BulkConfig struct {
 	Threads    []int
 	Strategies []spray.Strategy
 	Runner     bench.Runner
+
+	// Telemetry instruments every (strategy, threads) run: each measured
+	// point carries the strategy counters accumulated while it was timed,
+	// and OnReport (when set) receives the full RegionReport per series
+	// point, labeled "<strategy>/<each|bulk> t=<threads>".
+	Telemetry bool
+	OnReport  func(label string, rep spray.RegionReport)
 }
 
 // DefaultBulkConfig selects the strategies where the batch path has a
@@ -36,6 +43,23 @@ func DefaultBulkConfig(n, maxThreads int) BulkConfig {
 	}
 }
 
+// bulkPoint measures one series point, capturing the telemetry counters
+// accumulated during the timed window when the run is instrumented.
+func bulkPoint(cfg BulkConfig, in *spray.Instrumentation, th int, label string, run func(iters int)) bench.Point {
+	if in != nil {
+		in.Reset()
+	}
+	p := bench.Point{X: float64(th), Time: cfg.Runner.AutoBench(run)}
+	if in != nil {
+		rep := in.Report()
+		p.Counters = rep.CounterMap()
+		if cfg.OnReport != nil {
+			cfg.OnReport(fmt.Sprintf("%s t=%d", label, th), rep)
+		}
+	}
+	return p
+}
+
 // BulkConv compares element-wise against bulk accumulation on the conv
 // back-propagation workload (contiguous AddN runs).
 func BulkConv(cfg BulkConfig) *bench.Result {
@@ -53,18 +77,27 @@ func BulkConv(cfg BulkConfig) *bench.Result {
 		for _, th := range cfg.Threads {
 			team := spray.NewTeam(th)
 			r := spray.New(st, out, th)
-			each := cfg.Runner.AutoBench(func(iters int) {
+			var in *spray.Instrumentation
+			if cfg.Telemetry {
+				in = spray.Instrument(team, r)
+			}
+			each := bulkPoint(cfg, in, th, st.String()+"/each", func(iters int) {
 				for i := 0; i < iters; i++ {
 					convWeights.RunBackpropEach(team, r, seed)
 				}
 			})
-			res.AddPoint(st.String()+"/each", bench.Point{X: float64(th), Time: each, Bytes: r.PeakBytes()})
-			bulk := cfg.Runner.AutoBench(func(iters int) {
+			each.Bytes = r.PeakBytes()
+			res.AddPoint(st.String()+"/each", each)
+			bulk := bulkPoint(cfg, in, th, st.String()+"/bulk", func(iters int) {
 				for i := 0; i < iters; i++ {
 					convWeights.RunBackprop(team, r, seed)
 				}
 			})
-			res.AddPoint(st.String()+"/bulk", bench.Point{X: float64(th), Time: bulk, Bytes: r.PeakBytes()})
+			bulk.Bytes = r.PeakBytes()
+			res.AddPoint(st.String()+"/bulk", bulk)
+			if in != nil {
+				in.Detach()
+			}
 			team.Close()
 		}
 	}
@@ -90,18 +123,27 @@ func BulkTMV(cfg BulkConfig) *bench.Result {
 		for _, th := range cfg.Threads {
 			team := spray.NewTeam(th)
 			r := spray.New(st, y, th)
-			each := cfg.Runner.AutoBench(func(iters int) {
+			var in *spray.Instrumentation
+			if cfg.Telemetry {
+				in = spray.Instrument(team, r)
+			}
+			each := bulkPoint(cfg, in, th, st.String()+"/each", func(iters int) {
 				for i := 0; i < iters; i++ {
 					sparse.RunTMulVecEach(team, r, a, x)
 				}
 			})
-			res.AddPoint(st.String()+"/each", bench.Point{X: float64(th), Time: each, Bytes: r.PeakBytes()})
-			bulk := cfg.Runner.AutoBench(func(iters int) {
+			each.Bytes = r.PeakBytes()
+			res.AddPoint(st.String()+"/each", each)
+			bulk := bulkPoint(cfg, in, th, st.String()+"/bulk", func(iters int) {
 				for i := 0; i < iters; i++ {
 					sparse.RunTMulVec(team, r, a, x)
 				}
 			})
-			res.AddPoint(st.String()+"/bulk", bench.Point{X: float64(th), Time: bulk, Bytes: r.PeakBytes()})
+			bulk.Bytes = r.PeakBytes()
+			res.AddPoint(st.String()+"/bulk", bulk)
+			if in != nil {
+				in.Detach()
+			}
 			team.Close()
 		}
 	}

@@ -21,6 +21,13 @@ type ConvConfig struct {
 	Threads    []int
 	Strategies []spray.Strategy
 	Runner     bench.Runner
+
+	// Instrument attaches telemetry to every (strategy, threads) run:
+	// each measured point carries the strategy counters accumulated while
+	// it was timed, and OnReport (when set) receives the full
+	// RegionReport, labeled "<strategy> t=<threads>".
+	Instrument bool
+	OnReport   func(label string, rep spray.RegionReport)
 }
 
 // DefaultConvConfig returns the paper's setup scaled by size (pass the
@@ -85,12 +92,25 @@ func Fig11(cfg ConvConfig) *bench.Result {
 		for _, th := range cfg.Threads {
 			team := spray.NewTeam(th)
 			r := spray.New(st, out, th)
+			var in *spray.Instrumentation
+			if cfg.Instrument {
+				in = spray.Instrument(team, r)
+			}
 			summary := cfg.Runner.AutoBench(func(iters int) {
 				for i := 0; i < iters; i++ {
 					convWeights.RunBackprop(team, r, seed)
 				}
 			})
-			res.AddPoint(st.String(), bench.Point{X: float64(th), Time: summary, Bytes: r.PeakBytes()})
+			p := bench.Point{X: float64(th), Time: summary, Bytes: r.PeakBytes()}
+			if in != nil {
+				rep := in.Report()
+				p.Counters = rep.CounterMap()
+				if cfg.OnReport != nil {
+					cfg.OnReport(fmt.Sprintf("%s t=%d", st, th), rep)
+				}
+				in.Detach()
+			}
+			res.AddPoint(st.String(), p)
 			team.Close()
 		}
 	}

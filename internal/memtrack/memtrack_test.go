@@ -88,3 +88,54 @@ func TestSliceBytes(t *testing.T) {
 		t.Errorf("SliceBytes(0,8)=%d", got)
 	}
 }
+
+// TestConcurrentAllocFreePeakInvariants interleaves Alloc and Free across
+// goroutines (run under -race) and checks what the lock-free peak CAS loop
+// must guarantee: the final balance is exact, the peak never reads below
+// the live bytes at any sample, and it never exceeds the theoretical
+// maximum of all allocations landing before any free.
+func TestConcurrentAllocFreePeakInvariants(t *testing.T) {
+	var c Counter
+	const workers, rounds, chunk = 8, 2000, 5
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader: peak must never lag live bytes
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				b, p := c.Bytes(), c.Peak()
+				// Bytes is sampled first; it can only have shrunk by the
+				// time Peak is read, so peak >= that sample is required.
+				if p < b {
+					t.Errorf("peak %d < live bytes %d", p, b)
+					return
+				}
+			}
+		}
+	}()
+	var workersWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		workersWG.Add(1)
+		go func() {
+			defer workersWG.Done()
+			for i := 0; i < rounds; i++ {
+				c.Alloc(chunk)
+				c.Free(chunk - 1) // net +1 per round
+			}
+		}()
+	}
+	workersWG.Wait()
+	close(stop)
+	wg.Wait()
+	want := int64(workers * rounds)
+	if c.Bytes() != want {
+		t.Errorf("final bytes %d, want %d", c.Bytes(), want)
+	}
+	if c.Peak() < want || c.Peak() > int64(workers*rounds*chunk) {
+		t.Errorf("peak %d outside [%d, %d]", c.Peak(), want, workers*rounds*chunk)
+	}
+}

@@ -114,3 +114,45 @@ func MaxAbsDiff[T Float](a, b []T) float64 {
 	}
 	return m
 }
+
+// AtomicAdd64Retries is AtomicAdd64 with telemetry: it reports how many
+// CAS attempts lost to a concurrent writer before one succeeded (0 under
+// no contention). Kept separate from AtomicAdd so the uninstrumented hot
+// path carries no counter bookkeeping.
+func AtomicAdd64Retries(p *float64, v float64) int {
+	u := (*uint64)(unsafe.Pointer(p))
+	retries := 0
+	for {
+		old := atomic.LoadUint64(u)
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(u, old, new) {
+			return retries
+		}
+		retries++
+	}
+}
+
+// AtomicAdd32Retries is the float32 analogue of AtomicAdd64Retries.
+func AtomicAdd32Retries(p *float32, v float32) int {
+	u := (*uint32)(unsafe.Pointer(p))
+	retries := 0
+	for {
+		old := atomic.LoadUint32(u)
+		new := math.Float32bits(math.Float32frombits(old) + v)
+		if atomic.CompareAndSwapUint32(u, old, new) {
+			return retries
+		}
+		retries++
+	}
+}
+
+// AtomicAddRetries adds v to s[i] atomically and returns the number of
+// failed CAS attempts — the instrumented sibling of AtomicAdd.
+func AtomicAddRetries[T Float](s []T, i int, v T) int {
+	switch unsafe.Sizeof(v) {
+	case 8:
+		return AtomicAdd64Retries((*float64)(unsafe.Pointer(&s[i])), float64(v))
+	default:
+		return AtomicAdd32Retries((*float32)(unsafe.Pointer(&s[i])), float32(v))
+	}
+}

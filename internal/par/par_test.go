@@ -1,10 +1,13 @@
 package par
 
 import (
+	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestTeamRunExecutesEveryMemberOnce(t *testing.T) {
@@ -305,8 +308,12 @@ func TestWorkerPanicPropagatesAndTeamSurvives(t *testing.T) {
 		})
 		return nil
 	}()
-	if caught != "boom from worker" {
-		t.Fatalf("caught %v", caught)
+	wp, ok := caught.(*WorkerPanic)
+	if !ok {
+		t.Fatalf("caught %T %v, want *WorkerPanic", caught, caught)
+	}
+	if wp.Tid != 2 || wp.Value != "boom from worker" {
+		t.Fatalf("caught tid=%d value=%v", wp.Tid, wp.Value)
 	}
 	// The team must remain usable after the panic.
 	var ran atomic.Int32
@@ -330,8 +337,9 @@ func TestMasterPanicStillJoinsWorkers(t *testing.T) {
 		})
 		return nil
 	}()
-	if caught != "master boom" {
-		t.Fatalf("caught %v", caught)
+	wp, ok := caught.(*WorkerPanic)
+	if !ok || wp.Tid != 0 || wp.Value != "master boom" {
+		t.Fatalf("caught %#v", caught)
 	}
 	if workersDone.Load() != 2 {
 		t.Errorf("workers done: %d", workersDone.Load())
@@ -352,7 +360,124 @@ func TestPanicValuePreserved(t *testing.T) {
 		})
 		return nil
 	}()
-	if c, ok := caught.(custom); !ok || c.code != 42 {
-		t.Errorf("caught %#v", caught)
+	wp, ok := caught.(*WorkerPanic)
+	if !ok {
+		t.Fatalf("caught %T, want *WorkerPanic", caught)
 	}
+	if c, ok := wp.Value.(custom); !ok || c.code != 42 {
+		t.Errorf("wrapped value %#v", wp.Value)
+	}
+}
+
+// explodeInWorker panics from a named helper so the stack-preservation
+// test can look for this frame in the captured trace.
+func explodeInWorker() { panic("kept stack") }
+
+func TestWorkerPanicPreservesOriginalStack(t *testing.T) {
+	team := NewTeam(3)
+	defer team.Close()
+	caught := func() (r any) {
+		defer func() { r = recover() }()
+		team.Run(func(tid int) {
+			if tid == 1 {
+				explodeInWorker()
+			}
+		})
+		return nil
+	}()
+	wp, ok := caught.(*WorkerPanic)
+	if !ok {
+		t.Fatalf("caught %T, want *WorkerPanic", caught)
+	}
+	// The captured stack must show the frame that actually panicked, not
+	// just the join site in Run.
+	if !strings.Contains(string(wp.Stack), "explodeInWorker") {
+		t.Errorf("stack does not name the panicking frame:\n%s", wp.Stack)
+	}
+	if !strings.Contains(wp.Error(), "explodeInWorker") {
+		t.Errorf("Error() omits the original stack: %q", wp.Error())
+	}
+	if !strings.Contains(wp.Error(), "team member 1") {
+		t.Errorf("Error() omits the member id: %q", wp.Error())
+	}
+}
+
+func TestWorkerPanicUnwrap(t *testing.T) {
+	team := NewTeam(2)
+	defer team.Close()
+	sentinel := errors.New("sentinel failure")
+	caught := func() (r any) {
+		defer func() { r = recover() }()
+		team.Run(func(tid int) {
+			if tid == 1 {
+				panic(sentinel)
+			}
+		})
+		return nil
+	}()
+	wp, ok := caught.(*WorkerPanic)
+	if !ok {
+		t.Fatalf("caught %T, want *WorkerPanic", caught)
+	}
+	if !errors.Is(wp, sentinel) {
+		t.Errorf("errors.Is does not reach the original error")
+	}
+}
+
+func TestTimingAccumulatesRegions(t *testing.T) {
+	const n = 4
+	team := NewTeam(n)
+	defer team.Close()
+	tm := NewTiming(n)
+	team.SetTiming(tm)
+	const regions = 3
+	for r := 0; r < regions; r++ {
+		team.Run(func(tid int) {
+			time.Sleep(time.Millisecond)
+			team.Barrier()
+		})
+	}
+	s := tm.Snapshot()
+	if s.Regions != regions {
+		t.Fatalf("regions = %d, want %d", s.Regions, regions)
+	}
+	if s.Wall < regions*time.Millisecond {
+		t.Errorf("wall %v below the slept floor", s.Wall)
+	}
+	if len(s.Busy) != n {
+		t.Fatalf("busy has %d slots, want %d", len(s.Busy), n)
+	}
+	for tid, b := range s.Busy {
+		if b < regions*time.Millisecond {
+			t.Errorf("member %d busy %v below the slept floor", tid, b)
+		}
+	}
+	if s.MaxBusy() < s.MeanBusy() {
+		t.Errorf("max busy %v < mean %v", s.MaxBusy(), s.MeanBusy())
+	}
+	if li := s.LoadImbalance(); li < 1.0 {
+		t.Errorf("load imbalance %v < 1", li)
+	}
+	tm.Reset()
+	if s := tm.Snapshot(); s.Regions != 0 || s.Wall != 0 || s.MaxBusy() != 0 {
+		t.Errorf("reset left %+v", s)
+	} else if s.LoadImbalance() != 0 {
+		t.Errorf("empty snapshot imbalance %v, want 0", s.LoadImbalance())
+	}
+	team.SetTiming(nil)
+	team.Run(func(int) {}) // timing off again: must not accumulate
+	if got := tm.Snapshot().Regions; got != 0 {
+		t.Errorf("detached timing recorded %d regions", got)
+	}
+}
+
+func TestTimingSizeMismatchPanics(t *testing.T) {
+	team := NewTeam(2)
+	defer team.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched SetTiming did not panic")
+		}
+	}()
+	team.SetTiming(NewTiming(3))
 }

@@ -9,10 +9,16 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
+	"runtime/trace"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Team is a fixed-size group of workers that execute parallel regions
@@ -25,9 +31,48 @@ type Team struct {
 	done    sync.WaitGroup
 	barrier *Barrier
 	closed  bool
+	timing  *Timing // nil = lifecycle timing off (the default)
 
 	panicMu  sync.Mutex
 	panicVal any // first panic raised by a worker during the current region
+}
+
+// WorkerPanic wraps a panic raised inside a parallel region so the
+// re-raise on the caller preserves where the panic actually happened: the
+// member's tid, the original panic value, and the goroutine stack captured
+// at recover time (re-panicking alone would report the join site only).
+type WorkerPanic struct {
+	Tid   int    // team member that panicked (0 = the master/caller)
+	Value any    // the original panic value
+	Stack []byte // debug.Stack() of the panicking goroutine
+}
+
+// Error formats the panic with its original stack trace; WorkerPanic
+// satisfies error so recovered values can flow through error channels.
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("par: panic in team member %d: %v\n\noriginal goroutine stack:\n%s",
+		p.Tid, p.Value, p.Stack)
+}
+
+func (p *WorkerPanic) String() string { return p.Error() }
+
+// Unwrap exposes the original panic value when it was an error.
+func (p *WorkerPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// wrapPanic captures the current goroutine's stack around a recovered
+// panic value. Must be called from inside the deferred recover, while the
+// panicking frames are still on the stack. Already-wrapped values (nested
+// teams) pass through untouched.
+func wrapPanic(tid int, val any) any {
+	if wp, ok := val.(*WorkerPanic); ok {
+		return wp
+	}
+	return &WorkerPanic{Tid: tid, Value: val, Stack: debug.Stack()}
 }
 
 // NewTeam creates a team of n members. n must be positive; n == 1 yields a
@@ -42,6 +87,10 @@ func NewTeam(n int) *Team {
 		ch := make(chan func(int))
 		t.jobs[tid] = ch
 		go func(tid int, ch chan func(int)) {
+			// Label the worker for pprof so CPU/goroutine profiles
+			// attribute region work to a stable team member id.
+			pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+				pprof.Labels("par-worker", strconv.Itoa(tid))))
 			for fn := range ch {
 				t.runMember(tid, fn)
 			}
@@ -56,35 +105,79 @@ func Default() *Team { return NewTeam(runtime.GOMAXPROCS(0)) }
 // Size returns the number of team members.
 func (t *Team) Size() int { return t.size }
 
+// SetTiming attaches (or, with nil, detaches) a region-lifecycle timing
+// accumulator. tm must have been built for this team's size. Not safe to
+// call while a region is running.
+func (t *Team) SetTiming(tm *Timing) {
+	if tm != nil && tm.Threads() != t.size {
+		panic(fmt.Sprintf("par: timing built for %d threads attached to a team of %d", tm.Threads(), t.size))
+	}
+	t.timing = tm
+}
+
+// Timing returns the attached timing accumulator, or nil when lifecycle
+// timing is off.
+func (t *Team) Timing() *Timing { return t.timing }
+
 // Run executes fn once per team member, concurrently, and returns when all
 // members have finished — the analogue of an OpenMP parallel region. The
 // caller runs as tid 0. Run must not be called from inside a region on the
 // same team (regions do not nest; create an inner Team for nesting).
 //
 // A panic in any member is caught, the region is still joined (so the
-// team stays usable), and the first panic value is re-raised on the
-// caller. The original worker stack trace is lost in the re-raise, as
-// with errgroup-style designs. A member that panics before reaching a
-// Barrier that other members wait on deadlocks the region — the same
-// hazard an aborting OpenMP thread poses.
+// team stays usable), and the first panic is re-raised on the caller as a
+// *WorkerPanic carrying the member's tid, the original value, and the
+// goroutine stack captured where the panic happened. A member that panics
+// before reaching a Barrier that other members wait on deadlocks the
+// region — the same hazard an aborting OpenMP thread poses.
+//
+// When a Timing is attached (SetTiming) the region's wall time and each
+// member's busy time are accumulated; when Go execution tracing is active
+// the region becomes a trace task with one trace region per member, so
+// `go tool trace` shows the team's fork/join structure directly.
 func (t *Team) Run(fn func(tid int)) {
 	if t.closed {
 		panic("par: Run on closed team")
 	}
+	tm := t.timing
+	run := fn
+	var task *trace.Task
+	if traced := trace.IsEnabled(); tm != nil || traced {
+		var ctx context.Context = context.Background()
+		if traced {
+			ctx, task = trace.NewTask(ctx, "par.Run")
+		}
+		run = instrumentRegion(ctx, fn, tm, traced)
+	}
+	var start time.Time
+	if tm != nil {
+		start = time.Now()
+	}
 	t.done.Add(t.size - 1)
 	for tid := 1; tid < t.size; tid++ {
-		t.jobs[tid] <- fn
+		t.jobs[tid] <- run
 	}
 	var masterPanic any
 	func() {
-		defer func() { masterPanic = recover() }()
-		fn(0)
+		defer func() {
+			if r := recover(); r != nil {
+				masterPanic = wrapPanic(0, r)
+			}
+		}()
+		run(0)
 	}()
 	t.done.Wait()
 	t.panicMu.Lock()
 	workerPanic := t.panicVal
 	t.panicVal = nil
 	t.panicMu.Unlock()
+	if tm != nil {
+		tm.regions.Add(1)
+		tm.wallNS.Add(int64(time.Since(start)))
+	}
+	if task != nil {
+		task.End()
+	}
 	if masterPanic != nil {
 		panic(masterPanic)
 	}
@@ -93,14 +186,32 @@ func (t *Team) Run(fn func(tid int)) {
 	}
 }
 
+// instrumentRegion wraps a region body with per-member busy timing and
+// execution-trace regions. The wrapper is only built when telemetry or
+// tracing is on — the default Run path dispatches fn untouched.
+func instrumentRegion(ctx context.Context, fn func(int), tm *Timing, traced bool) func(int) {
+	return func(tid int) {
+		if traced {
+			defer trace.StartRegion(ctx, "par.member").End()
+		}
+		if tm != nil {
+			start := time.Now()
+			defer func() { tm.busyNS[tid].Add(int64(time.Since(start))) }()
+		}
+		fn(tid)
+	}
+}
+
 // runMember executes one region on a worker, converting panics into a
-// recorded value so Run can re-raise them after the join.
+// recorded value (with the worker's stack attached) so Run can re-raise
+// them after the join.
 func (t *Team) runMember(tid int, fn func(int)) {
 	defer func() {
 		if r := recover(); r != nil {
+			wrapped := wrapPanic(tid, r)
 			t.panicMu.Lock()
 			if t.panicVal == nil {
-				t.panicVal = r
+				t.panicVal = wrapped
 			}
 			t.panicMu.Unlock()
 		}
@@ -111,8 +222,17 @@ func (t *Team) runMember(tid int, fn func(int)) {
 
 // Barrier blocks until every team member currently inside a region has
 // called it, the analogue of "#pragma omp barrier". It is only meaningful
-// when called by all members from within Run.
-func (t *Team) Barrier() { t.barrier.Wait() }
+// when called by all members from within Run. With a Timing attached, the
+// time every member spends waiting here is accumulated as BarrierWait.
+func (t *Team) Barrier() {
+	if tm := t.timing; tm != nil {
+		start := time.Now()
+		t.barrier.Wait()
+		tm.barrNS.Add(int64(time.Since(start)))
+		return
+	}
+	t.barrier.Wait()
+}
 
 // Close shuts down the worker goroutines. The team must not be used after
 // Close. Closing is idempotent.

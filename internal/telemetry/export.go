@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// The export registry: every Recorder that spray.Instrument attaches is
+// registered here so one expvar variable can render the live counters of
+// every instrumented reducer in the process. Registration is explicit —
+// constructing a Recorder alone does not publish anything.
+var (
+	regMu     sync.Mutex
+	recorders []*Recorder
+	published = map[string]bool{}
+)
+
+// Register adds r to the live-export registry. Registering the same
+// recorder twice is a no-op.
+func Register(r *Recorder) {
+	if r == nil {
+		return
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, have := range recorders {
+		if have == r {
+			return
+		}
+	}
+	recorders = append(recorders, r)
+}
+
+// Unregister removes r from the live-export registry.
+func Unregister(r *Recorder) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for i, have := range recorders {
+		if have == r {
+			recorders = append(recorders[:i], recorders[i+1:]...)
+			return
+		}
+	}
+}
+
+// Registered returns a copy of the current registry, newest last.
+func Registered() []*Recorder {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]*Recorder, len(recorders))
+	copy(out, recorders)
+	return out
+}
+
+// Publish exposes the registry under the given expvar name (conventionally
+// "spray"). The exported value is recomputed on every /debug/vars scrape:
+//
+//	{"recorders": [{"name": ..., "counters": {...}}, ...],
+//	 "totals": {...}}
+//
+// Publishing the same name twice is a no-op (expvar itself panics on
+// duplicates, so the guard keeps Publish idempotent for CLI wiring).
+func Publish(name string) {
+	regMu.Lock()
+	if published[name] {
+		regMu.Unlock()
+		return
+	}
+	published[name] = true
+	regMu.Unlock()
+	expvar.Publish(name, expvar.Func(exportValue))
+}
+
+// exportValue builds the JSON-marshalable live view of all registered
+// recorders.
+func exportValue() any {
+	type recView struct {
+		Name     string            `json:"name"`
+		Counters map[string]uint64 `json:"counters"`
+	}
+	var total Snapshot
+	views := make([]recView, 0, 8)
+	for _, r := range Registered() {
+		snap := r.Snapshot()
+		total.Merge(snap)
+		views = append(views, recView{Name: r.Name(), Counters: snap.Map()})
+	}
+	return map[string]any{
+		"recorders": views,
+		"totals":    total.Map(),
+	}
+}
+
+// Handler returns the expvar scrape handler (the same payload that
+// /debug/vars serves), for embedding in an existing mux.
+func Handler() http.Handler { return expvar.Handler() }
+
+// Serve starts an HTTP server on addr exposing the process's expvar
+// variables (including everything Publish exported) at /debug/vars. It
+// returns the bound address — pass ":0" for an ephemeral port — and keeps
+// serving until the process exits.
+func Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go srv.Serve(ln) //nolint:errcheck — runs for process lifetime
+	return ln.Addr().String(), nil
+}
