@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci build vet test race race-telemetry bench-smoke overhead-smoke bench-bulk bench-observability clean
+.PHONY: ci build vet test race race-telemetry bench-smoke overhead-smoke bench-bulk bench-observability bench-gate clean
 
 # ci is the tier-1 gate plus cheap benchmark compile-and-run checks,
-# including the telemetry-off overhead guard.
-ci: vet build test race bench-smoke overhead-smoke
+# including the telemetry-off overhead guard and the benchmark
+# regression gate.
+ci: vet build test race race-telemetry bench-smoke overhead-smoke bench-gate
 
 build:
 	$(GO) build ./...
@@ -19,9 +20,10 @@ race:
 	$(GO) test -race ./...
 
 # race-telemetry focuses the race detector on the observability layer:
-# counter shards, region timing, panic wrapping, and the export registry.
+# counter shards, region timing, latency histograms, trace rings, panic
+# wrapping, and the export registry.
 race-telemetry:
-	$(GO) test -race -run 'Telemetry|Instrument|Timing|WorkerPanic|Concurrent' ./internal/telemetry ./internal/par ./internal/core ./internal/memtrack .
+	$(GO) test -race -run 'Telemetry|Instrument|Timing|WorkerPanic|Concurrent|Trace|Hist|Sample|Latency' ./internal/telemetry ./internal/par ./internal/core ./internal/memtrack ./internal/experiments .
 
 # bench-smoke proves the bulk benchmarks run end to end without timing
 # anything meaningful (100 iterations per case).
@@ -46,6 +48,18 @@ bench-bulk:
 bench-observability:
 	$(GO) run ./cmd/spraybulk -n 200000 -max-threads 4 -repeats 1 -min-time 20ms -metrics -json BENCH_observability.json
 
+# bench-gate is the benchmark regression gate. It first self-tests the
+# detector on the checked-in fixture pair (a synthetic 50% regression
+# must be caught), then records a quick sweep and compares it against
+# results/bench_baseline.json. A missing or incomparable baseline is
+# bootstrapped from the fresh run; a same-host regression beyond the
+# (deliberately wide, smoke-scale) noise band fails the target.
+bench-gate:
+	$(GO) run ./cmd/benchdiff -expect-regression -q cmd/benchdiff/testdata/base.json cmd/benchdiff/testdata/regressed.json
+	@mkdir -p results
+	$(GO) run ./cmd/spraybulk -n 100000 -max-threads 2 -repeats 2 -min-time 10ms -workload conv -json BENCH_gate.json
+	$(GO) run ./cmd/benchdiff -gate -sigma 4 -min-rel 0.25 results/bench_baseline.json BENCH_gate.json
+
 clean:
-	rm -f BENCH_bulk.json BENCH_observability.json
+	rm -f BENCH_bulk.json BENCH_observability.json BENCH_gate.json
 	$(GO) clean ./...

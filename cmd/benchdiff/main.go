@@ -1,0 +1,121 @@
+// Command benchdiff compares two benchmark JSON files written by
+// bench.WriteJSON (cmd/spraybulk -json, make bench-bulk) and reports the
+// per-point deltas. It exits nonzero when any point's mean regressed
+// beyond a noise threshold derived from the recorded standard deviations,
+// making it usable as a CI gate:
+//
+//	benchdiff old.json new.json
+//	benchdiff -sigma 4 -min-rel 0.10 old.json new.json
+//	benchdiff -gate baseline.json new.json
+//
+// In -gate mode a missing, legacy or host-incompatible baseline is not an
+// error: the candidate is promoted to be the new baseline and the gate
+// passes, so the first run on a fresh machine bootstraps itself instead
+// of failing CI. Same-host runs still gate strictly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"spray/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		sigma  = fs.Float64("sigma", bench.DefaultSigma, "noise band width in combined standard deviations")
+		minRel = fs.Float64("min-rel", bench.DefaultMinRel, "noise band floor as a fraction of the old mean")
+		gate   = fs.Bool("gate", false, "baseline-bootstrap mode: promote the candidate when the baseline is missing or not comparable")
+		expect = fs.Bool("expect-regression", false, "self-test mode: exit 0 only when a regression IS detected")
+		quiet  = fs.Bool("q", false, "suppress the delta table; print only the verdict")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: benchdiff [flags] <baseline.json> <candidate.json>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	basePath, candPath := fs.Arg(0), fs.Arg(1)
+
+	cand, err := bench.ReadFile(candPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	if cand.Legacy() {
+		fmt.Fprintf(stderr, "benchdiff: candidate %s predates host metadata (schema %d); re-record it\n", candPath, cand.Schema)
+		return 2
+	}
+
+	base, err := bench.ReadFile(basePath)
+	if err != nil {
+		if *gate && os.IsNotExist(err) {
+			return promote(basePath, cand, "no baseline", stderr)
+		}
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+
+	d, err := bench.DiffFiles(base, cand, bench.DiffOptions{Sigma: *sigma, MinRel: *minRel})
+	if err != nil {
+		if *gate {
+			return promote(basePath, cand, err.Error(), stderr)
+		}
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+
+	if !*quiet {
+		fmt.Fprintf(stdout, "baseline:  %s (%s)\n", basePath, base.Host)
+		fmt.Fprintf(stdout, "candidate: %s (%s)\n", candPath, cand.Host)
+		d.WriteTable(stdout)
+	}
+	regressed := d.Regressions() > 0
+	if *expect {
+		if !regressed {
+			fmt.Fprintln(stderr, "benchdiff: expected a regression, found none")
+			return 1
+		}
+		fmt.Fprintf(stdout, "benchdiff: regression detected as expected (%d point(s))\n", d.Regressions())
+		return 0
+	}
+	if regressed {
+		fmt.Fprintf(stderr, "benchdiff: %d point(s) regressed beyond the noise threshold\n", d.Regressions())
+		return 1
+	}
+	fmt.Fprintln(stdout, "benchdiff: no regression")
+	return 0
+}
+
+// promote installs the candidate as the new baseline (gate mode only).
+func promote(basePath string, cand *bench.File, why string, stderr io.Writer) int {
+	f, err := os.Create(basePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	if err := cand.Write(f); err != nil {
+		f.Close()
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	fmt.Fprintf(stderr, "benchdiff: %s — recorded %s as the new baseline\n", why, basePath)
+	return 0
+}

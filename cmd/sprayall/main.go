@@ -34,6 +34,7 @@ func main() {
 		minTime    = flag.Duration("min-time", 100*time.Millisecond, "minimum time per sample")
 		metrics    = flag.Bool("metrics", false, "instrument the conv figures: print a telemetry region report per measured point (stderr) and attach counters to CSV-adjacent data")
 		metricsWeb = flag.String("metrics-http", "", "serve live telemetry on this address while running; implies -metrics")
+		tracePath  = flag.String("trace", "", "record span timelines for the conv figures and write them as Chrome trace-event JSON to this path")
 	)
 	flag.Parse()
 
@@ -59,17 +60,24 @@ func main() {
 		}
 	}
 
+	var sink *telemetry.TraceSink
+	if *tracePath != "" {
+		sink = telemetry.NewTraceSink(0)
+	}
+
 	// Figures 11-13: convolution back-propagation.
 	convCfg := experiments.DefaultConvConfig(convN, *maxThreads)
 	convCfg.Runner = runner
 	convCfg.Instrument = *metrics
 	convCfg.OnReport = onReport
+	convCfg.Trace = sink
 	emit(experiments.Fig11(convCfg), *outdir, "fig11.csv")
 	emit(experiments.Fig12(convCfg), *outdir, "fig12.csv")
 	f13 := experiments.DefaultFig13Config(convN, *maxThreads)
 	f13.Runner = runner
 	f13.Instrument = *metrics
 	f13.OnReport = onReport
+	f13.Trace = sink
 	emit(experiments.Fig13(f13), *outdir, "fig13.csv")
 
 	// Figures 14-15: transpose-matrix-vector products.
@@ -98,6 +106,14 @@ func main() {
 
 	// Beyond-paper strategies on the conv kernel.
 	emit(experiments.Extensions(convCfg), *outdir, "extensions.csv")
+
+	if sink != nil {
+		f, err := os.Create(*tracePath)
+		fatalIf(err)
+		fatalIf(sink.WriteChrome(f))
+		fatalIf(f.Close())
+		fmt.Fprintf(os.Stderr, "wrote %s (%d timelines, %d dropped events)\n", *tracePath, sink.Len(), sink.Dropped())
+	}
 }
 
 // scaleMatrix generates the paper matrix (scale 1) or a proportionally

@@ -34,11 +34,17 @@ func main() {
 		jsonPath   = flag.String("json", "BENCH_bulk.json", "write results as JSON to this path (empty = skip)")
 		metrics    = flag.Bool("metrics", false, "instrument every run: print a telemetry region report per measured point and attach the counters to the JSON output")
 		metricsWeb = flag.String("metrics-http", "", "serve live telemetry on this address (e.g. localhost:6060) while running; implies -metrics")
+		tracePath  = flag.String("trace", "", "record span timelines and write them as Chrome trace-event JSON to this path (chrome://tracing, ui.perfetto.dev)")
 	)
 	flag.Parse()
 
 	cfg := experiments.DefaultBulkConfig(*n, *maxThreads)
 	cfg.Runner = bench.Runner{Repeats: *repeats, MinTime: *minTime}
+	var sink *telemetry.TraceSink
+	if *tracePath != "" {
+		sink = telemetry.NewTraceSink(0)
+		cfg.Trace = sink
+	}
 	if *metricsWeb != "" {
 		telemetry.Publish("spray")
 		addr, err := telemetry.Serve(*metricsWeb)
@@ -85,6 +91,13 @@ func main() {
 		fatalIf(bench.WriteJSON(f, results))
 		fatalIf(f.Close())
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+	}
+	if sink != nil {
+		f, err := os.Create(*tracePath)
+		fatalIf(err)
+		fatalIf(sink.WriteChrome(f))
+		fatalIf(f.Close())
+		fmt.Fprintf(os.Stderr, "wrote %s (%d timelines, %d dropped events)\n", *tracePath, sink.Len(), sink.Dropped())
 	}
 }
 

@@ -210,12 +210,12 @@ func (r *Result) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// WriteJSON writes several results as one indented JSON array, for
-// commands that bundle multiple figures into a single output file.
+// WriteJSON writes several results as one indented JSON envelope stamped
+// with the schema version and the host the numbers were measured on (see
+// File), for commands that bundle multiple figures into a single output
+// file consumable by benchdiff.
 func WriteJSON(w io.Writer, results []*Result) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(results)
+	return NewFile(results).Write(w)
 }
 
 func (s *Series) point(x float64) (Point, bool) {

@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// DiffOptions tunes the regression decision of Compare.
+type DiffOptions struct {
+	// Sigma scales the noise band: a point regresses only when the mean
+	// moved by more than Sigma combined standard deviations. Defaults to
+	// DefaultSigma when zero.
+	Sigma float64
+	// MinRel is the floor of the noise band as a fraction of the old
+	// mean, so points whose repeats happened to have near-zero spread do
+	// not flag sub-percent jitter. Defaults to DefaultMinRel when zero.
+	MinRel float64
+}
+
+// DefaultSigma and DefaultMinRel are the gate defaults: three combined
+// standard deviations, never tighter than 5% of the old mean.
+const (
+	DefaultSigma  = 3.0
+	DefaultMinRel = 0.05
+)
+
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.Sigma <= 0 {
+		o.Sigma = DefaultSigma
+	}
+	if o.MinRel <= 0 {
+		o.MinRel = DefaultMinRel
+	}
+	return o
+}
+
+// PointDiff is the comparison of one (figure, series, x) point across
+// two benchmark files.
+type PointDiff struct {
+	Result string  // result title the point belongs to
+	Series string  // series name
+	X      float64 // sweep position (thread count, block size, ...)
+
+	OldMean, NewMean     float64 // seconds per op
+	OldStddev, NewStddev float64
+
+	// Delta is the relative mean change (new-old)/old; positive is
+	// slower. Threshold is the absolute change (seconds) the noise model
+	// requires before the point counts as moved.
+	Delta     float64
+	Threshold float64
+
+	Regression  bool // slower beyond the noise threshold
+	Improvement bool // faster beyond the noise threshold
+}
+
+// Diff is the full comparison of two benchmark files.
+type Diff struct {
+	Points []PointDiff
+	// OnlyOld and OnlyNew list point keys present in exactly one file
+	// (renamed series, changed sweeps). They never gate, but the table
+	// surfaces them so a silently vanished point cannot masquerade as a
+	// fixed regression.
+	OnlyOld []string
+	OnlyNew []string
+}
+
+// Regressions counts the points that got slower beyond the noise band.
+func (d *Diff) Regressions() int {
+	n := 0
+	for _, p := range d.Points {
+		if p.Regression {
+			n++
+		}
+	}
+	return n
+}
+
+// Improvements counts the points that got faster beyond the noise band.
+func (d *Diff) Improvements() int {
+	n := 0
+	for _, p := range d.Points {
+		if p.Improvement {
+			n++
+		}
+	}
+	return n
+}
+
+type pointKey struct {
+	result, series string
+	x              float64
+}
+
+func (k pointKey) String() string {
+	return fmt.Sprintf("%s / %s @ %s", k.result, k.series, trimFloat(k.x))
+}
+
+func indexPoints(f *File) (map[pointKey]Point, []pointKey) {
+	idx := make(map[pointKey]Point)
+	var order []pointKey
+	for _, res := range f.Results {
+		for _, s := range res.Series {
+			for _, p := range s.Points {
+				k := pointKey{result: res.Title, series: s.Name, x: p.X}
+				if _, dup := idx[k]; !dup {
+					order = append(order, k)
+				}
+				idx[k] = p
+			}
+		}
+	}
+	return idx, order
+}
+
+// DiffFiles matches the points of two benchmark files by (result title,
+// series name, x) and classifies each shared point as unchanged, regressed
+// or improved under the noise model
+//
+//	|newMean - oldMean| > max(Sigma*sqrt(oldStddev² + newStddev²), MinRel*oldMean)
+//
+// It refuses to compare files with different schema versions or host
+// metadata — cross-host deltas measure the machines, not the code.
+func DiffFiles(old, new *File, opts DiffOptions) (*Diff, error) {
+	if old.Schema != new.Schema {
+		return nil, fmt.Errorf("bench: schema mismatch: baseline v%d vs candidate v%d", old.Schema, new.Schema)
+	}
+	if old.Legacy() {
+		return nil, fmt.Errorf("bench: baseline predates host metadata (schema %d); re-record it", old.Schema)
+	}
+	if err := old.Host.Compatible(new.Host); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+
+	oldIdx, oldOrder := indexPoints(old)
+	newIdx, newOrder := indexPoints(new)
+
+	d := &Diff{}
+	for _, k := range oldOrder {
+		op := oldIdx[k]
+		np, ok := newIdx[k]
+		if !ok {
+			d.OnlyOld = append(d.OnlyOld, k.String())
+			continue
+		}
+		noise := opts.Sigma * math.Sqrt(op.Time.Stddev*op.Time.Stddev+np.Time.Stddev*np.Time.Stddev)
+		if floor := opts.MinRel * op.Time.Mean; noise < floor {
+			noise = floor
+		}
+		pd := PointDiff{
+			Result:    k.result,
+			Series:    k.series,
+			X:         k.x,
+			OldMean:   op.Time.Mean,
+			NewMean:   np.Time.Mean,
+			OldStddev: op.Time.Stddev,
+			NewStddev: np.Time.Stddev,
+			Threshold: noise,
+		}
+		if op.Time.Mean > 0 {
+			pd.Delta = (np.Time.Mean - op.Time.Mean) / op.Time.Mean
+		}
+		switch {
+		case np.Time.Mean-op.Time.Mean > noise:
+			pd.Regression = true
+		case op.Time.Mean-np.Time.Mean > noise:
+			pd.Improvement = true
+		}
+		d.Points = append(d.Points, pd)
+	}
+	for _, k := range newOrder {
+		if _, ok := oldIdx[k]; !ok {
+			d.OnlyNew = append(d.OnlyNew, k.String())
+		}
+	}
+	sort.SliceStable(d.Points, func(i, j int) bool { return d.Points[i].Delta > d.Points[j].Delta })
+	return d, nil
+}
+
+// WriteTable renders the diff as aligned text: one row per shared point,
+// sorted worst delta first, with the regressed and improved points
+// flagged, followed by the unmatched point keys.
+func (d *Diff) WriteTable(w io.Writer) {
+	rows := [][]string{{"", "result / series @ x", "old", "new", "delta", "noise"}}
+	for _, p := range d.Points {
+		flag := ""
+		switch {
+		case p.Regression:
+			flag = "REGRESSED"
+		case p.Improvement:
+			flag = "improved"
+		}
+		key := pointKey{result: p.Result, series: p.Series, x: p.X}
+		rows = append(rows, []string{
+			flag,
+			key.String(),
+			fmtSeconds(p.OldMean),
+			fmtSeconds(p.NewMean),
+			fmt.Sprintf("%+.1f%%", p.Delta*100),
+			fmtSeconds(p.Threshold),
+		})
+	}
+	writeAligned(w, rows)
+	for _, k := range d.OnlyOld {
+		fmt.Fprintf(w, "only in baseline:  %s\n", k)
+	}
+	for _, k := range d.OnlyNew {
+		fmt.Fprintf(w, "only in candidate: %s\n", k)
+	}
+	fmt.Fprintf(w, "%d point(s): %d regressed, %d improved\n",
+		len(d.Points), d.Regressions(), d.Improvements())
+}

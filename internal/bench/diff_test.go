@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spray/internal/stats"
+)
+
+// mkFile builds a schema-2 envelope with one figure whose "atomic"
+// series has the given means at x = 1, 2, 4 and a uniform stddev.
+func mkFile(host HostInfo, means []float64, stddev float64) *File {
+	r := &Result{Title: "fig", XLabel: "threads"}
+	for i, m := range means {
+		r.AddPoint("atomic", Point{
+			X:    float64(int(1) << i),
+			Time: stats.Summary{N: 5, Mean: m, Min: m, Max: m, Median: m, Stddev: stddev},
+		})
+	}
+	return &File{Schema: SchemaVersion, Host: host, Results: []*Result{r}}
+}
+
+func TestDiffIdenticalFilesClean(t *testing.T) {
+	h := CurrentHost()
+	base := mkFile(h, []float64{0.010, 0.006, 0.004}, 0.0002)
+	d, err := DiffFiles(base, mkFile(h, []float64{0.010, 0.006, 0.004}, 0.0002), DiffOptions{})
+	if err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if len(d.Points) != 3 || d.Regressions() != 0 || d.Improvements() != 0 {
+		t.Errorf("points=%d regressed=%d improved=%d", len(d.Points), d.Regressions(), d.Improvements())
+	}
+	if len(d.OnlyOld)+len(d.OnlyNew) != 0 {
+		t.Errorf("unmatched points %v %v", d.OnlyOld, d.OnlyNew)
+	}
+}
+
+func TestDiffFlagsRegressionBeyondNoise(t *testing.T) {
+	h := CurrentHost()
+	base := mkFile(h, []float64{0.010, 0.006, 0.004}, 0.0001)
+	cand := mkFile(h, []float64{0.010, 0.009, 0.004}, 0.0001) // x=2 is 50% slower
+	d, err := DiffFiles(base, cand, DiffOptions{})
+	if err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if d.Regressions() != 1 || d.Improvements() != 0 {
+		t.Fatalf("regressed=%d improved=%d", d.Regressions(), d.Improvements())
+	}
+	// Worst delta sorts first.
+	worst := d.Points[0]
+	if !worst.Regression || worst.X != 2 || worst.Delta < 0.49 || worst.Delta > 0.51 {
+		t.Errorf("worst point %+v", worst)
+	}
+	var buf bytes.Buffer
+	d.WriteTable(&buf)
+	if out := buf.String(); !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "1 regressed") {
+		t.Errorf("table:\n%s", out)
+	}
+}
+
+func TestDiffFlagsImprovement(t *testing.T) {
+	h := CurrentHost()
+	base := mkFile(h, []float64{0.010, 0.006, 0.004}, 0.0001)
+	cand := mkFile(h, []float64{0.005, 0.006, 0.004}, 0.0001)
+	d, err := DiffFiles(base, cand, DiffOptions{})
+	if err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if d.Regressions() != 0 || d.Improvements() != 1 {
+		t.Fatalf("regressed=%d improved=%d", d.Regressions(), d.Improvements())
+	}
+	// Improvements sort last (most negative delta).
+	if last := d.Points[len(d.Points)-1]; !last.Improvement || last.X != 1 {
+		t.Errorf("last point %+v", last)
+	}
+}
+
+func TestDiffNoiseBandAbsorbsJitter(t *testing.T) {
+	h := CurrentHost()
+	base := mkFile(h, []float64{0.0100}, 0.0005)
+	// 4% slower: inside both 3*sqrt(2)*0.0005 and the 5% MinRel floor.
+	cand := mkFile(h, []float64{0.0104}, 0.0005)
+	d, err := DiffFiles(base, cand, DiffOptions{})
+	if err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if d.Regressions() != 0 {
+		t.Errorf("jitter flagged as regression: %+v", d.Points)
+	}
+	// A tighter custom gate does flag it.
+	d, err = DiffFiles(base, cand, DiffOptions{Sigma: 0.1, MinRel: 0.01})
+	if err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if d.Regressions() != 1 {
+		t.Errorf("tight gate missed the move: %+v", d.Points)
+	}
+}
+
+func TestDiffRefusesIncomparableFiles(t *testing.T) {
+	h := CurrentHost()
+	base := mkFile(h, []float64{0.01}, 0.0001)
+	cand := mkFile(h, []float64{0.01}, 0.0001)
+
+	otherHost := h
+	otherHost.GoVersion = "go0.0"
+	if _, err := DiffFiles(base, mkFile(otherHost, []float64{0.01}, 0.0001), DiffOptions{}); err == nil {
+		t.Error("cross-host diff accepted")
+	}
+
+	legacy := mkFile(h, []float64{0.01}, 0.0001)
+	legacy.Schema = 1
+	legacy.Host = HostInfo{}
+	if _, err := DiffFiles(legacy, cand, DiffOptions{}); err == nil {
+		t.Error("legacy baseline accepted")
+	}
+	if _, err := DiffFiles(base, legacy, DiffOptions{}); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+}
+
+func TestDiffReportsUnmatchedPoints(t *testing.T) {
+	h := CurrentHost()
+	base := mkFile(h, []float64{0.010, 0.006}, 0.0001)
+	cand := mkFile(h, []float64{0.010}, 0.0001)
+	cand.Results[0].AddPoint("keeper", Point{X: 1, Time: stats.Summary{N: 5, Mean: 0.002}})
+	d, err := DiffFiles(base, cand, DiffOptions{})
+	if err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if len(d.Points) != 1 {
+		t.Errorf("shared points = %d, want 1", len(d.Points))
+	}
+	if len(d.OnlyOld) != 1 || !strings.Contains(d.OnlyOld[0], "atomic @ 2") {
+		t.Errorf("OnlyOld %v", d.OnlyOld)
+	}
+	if len(d.OnlyNew) != 1 || !strings.Contains(d.OnlyNew[0], "keeper") {
+		t.Errorf("OnlyNew %v", d.OnlyNew)
+	}
+	var buf bytes.Buffer
+	d.WriteTable(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "only in baseline") || !strings.Contains(out, "only in candidate") {
+		t.Errorf("table:\n%s", out)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"spray/internal/memtrack"
@@ -80,7 +81,8 @@ type Block[T num.Float] struct {
 
 // Instrument attaches (nil: detaches) the telemetry recorder. Instrumented
 // accessors additionally count block claims, claim-CAS losses, fallback
-// privatizations and pool reuses in acquire.
+// privatizations and pool reuses in acquire, and time every block
+// resolution into the claim-latency histogram.
 func (bl *Block[T]) Instrument(rec *telemetry.Recorder) { bl.tel = rec }
 
 // NewBlock wraps out for a team of the given size. blockSize must be a
@@ -189,8 +191,21 @@ func (p *blockPrivate[T]) Scatter(idx []int32, vals []T) {
 
 // acquire resolves storage for block b: claim it in the original array
 // when the mode allows and the block is unowned, otherwise reuse a pooled
-// fallback buffer (or allocate one on first use).
+// fallback buffer (or allocate one on first use). Instrumented accessors
+// time every resolution into the claim-latency histogram (acquisition
+// happens at most once per block per thread per region, so no sampling
+// decimation is needed).
 func (p *blockPrivate[T]) acquire(b int) []T {
+	if p.tel != nil {
+		start := time.Now()
+		view := p.resolve(b)
+		p.tel.Observe(telemetry.ClaimLatency, time.Since(start))
+		return view
+	}
+	return p.resolve(b)
+}
+
+func (p *blockPrivate[T]) resolve(b int) []T {
 	parent := p.parent
 	base := b << parent.shift
 	end := base + parent.bsize
@@ -282,7 +297,12 @@ func (bl *Block[T]) FinalizeWith(t *par.Team) {
 		bl.Finalize()
 		return
 	}
+	tr := t.Tracer()
 	t.Run(func(tid int) {
+		if tr != nil {
+			tr.Begin(tid, telemetry.SpanFinalize, 0, 0)
+			defer tr.End(tid, telemetry.SpanFinalize)
+		}
 		for p := range bl.privs {
 			for _, fb := range bl.privs[p].fallbk {
 				if fb.block%size != tid {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"time"
 	"unsafe"
 
 	"spray/internal/memtrack"
@@ -37,6 +38,9 @@ type Keeper[T num.Float] struct {
 // accessors split updates into keeper-owned (direct writes into the static
 // ownership range) and keeper-foreign (enqueued update requests); the
 // fix-up counts drained requests against the destination owner's shard.
+// The first foreign enqueue per (thread, owner) pair per region is
+// additionally timestamped and its queue dwell time — enqueue to drain —
+// lands in the keeper-dwell histogram.
 func (k *Keeper[T]) Instrument(rec *telemetry.Recorder) { k.tel = rec }
 
 // NewKeeper wraps out for a team of the given size. Arrays longer than
@@ -77,6 +81,19 @@ type keeperPrivate[T num.Float] struct {
 	// to the parent counter; growth is charged as it happens.
 	charged int64
 	tel     *telemetry.Shard
+	// dwellAt stamps, per destination owner, the first foreign enqueue
+	// of the current region; the drain turns the stamps into
+	// keeper-dwell samples. Allocated only while instrumented, so the
+	// uninstrumented foreign path pays one nil check.
+	dwellAt []time.Time
+}
+
+// stampDwell records the enqueue time of the first foreign request to
+// owner o in this region.
+func (p *keeperPrivate[T]) stampDwell(o int) {
+	if p.dwellAt != nil && p.dwellAt[o].IsZero() {
+		p.dwellAt[o] = time.Now()
+	}
 }
 
 // Add writes owned locations directly and enqueues an update request with
@@ -90,6 +107,7 @@ func (p *keeperPrivate[T]) Add(i int, v T) {
 		return
 	}
 	p.tel.Inc(telemetry.KeeperForeign)
+	p.stampDwell(o)
 	qi, qv := p.qIdx[o], p.qVal[o]
 	ci, cv := cap(qi), cap(qv)
 	qi = append(qi, int32(i))
@@ -119,6 +137,7 @@ func (p *keeperPrivate[T]) AddN(base int, vals []T) {
 			}
 		} else {
 			p.tel.Add(telemetry.KeeperForeign, n)
+			p.stampDwell(o)
 			qi, qv := p.qIdx[o], p.qVal[o]
 			ci, cv := cap(qi), cap(qv)
 			for j := 0; j < n; j++ {
@@ -155,6 +174,7 @@ func (p *keeperPrivate[T]) Scatter(idx []int32, vals []T) {
 			}
 		} else {
 			p.tel.Add(telemetry.KeeperForeign, k-j)
+			p.stampDwell(o)
 			qi, qv := p.qIdx[o], p.qVal[o]
 			ci, cv := cap(qi), cap(qv)
 			qi = append(qi, idx[j:k]...)
@@ -197,6 +217,15 @@ func (p *keeperPrivate[T]) Done() {
 func (k *Keeper[T]) Private(tid int) Private[T] {
 	p := &k.privs[tid]
 	p.tel = k.tel.Shard(tid)
+	if p.tel != nil {
+		if p.dwellAt == nil {
+			p.dwellAt = make([]time.Time, k.threads)
+		} else {
+			clear(p.dwellAt)
+		}
+	} else {
+		p.dwellAt = nil
+	}
 	for o := range p.qIdx {
 		p.qIdx[o] = p.qIdx[o][:0]
 		p.qVal[o] = p.qVal[o][:0]
@@ -214,22 +243,34 @@ func (k *Keeper[T]) Finalize() {
 
 // FinalizeWith applies the update requests with the team, one owner range
 // per member at a time. Owner ranges are disjoint, so no synchronization
-// is needed beyond the region join.
+// is needed beyond the region join. With a tracer attached each owner
+// drain appears as a drain span (arg0 = owner) on the draining member's
+// timeline.
 func (k *Keeper[T]) FinalizeWith(t *par.Team) {
+	tr := t.Tracer()
 	t.Run(func(tid int) {
 		for o := tid; o < k.threads; o += t.Size() {
+			tr.Begin(tid, telemetry.SpanDrain, int64(o), 0)
 			k.applyOwner(o)
+			tr.End(tid, telemetry.SpanDrain)
 		}
 	})
 }
 
 // applyOwner applies all requests destined for owner o's range. Drained
 // requests are counted against the owner's shard (each owner is processed
-// by exactly one member in FinalizeWith, so the writes stay single-writer).
+// by exactly one member in FinalizeWith, so the writes stay single-writer),
+// and dwell stamps from the region turn into keeper-dwell samples.
 func (k *Keeper[T]) applyOwner(o int) {
 	sh := k.tel.Shard(o)
 	for t := range k.privs {
 		p := &k.privs[t]
+		if p.dwellAt != nil {
+			if at := p.dwellAt[o]; !at.IsZero() {
+				sh.Observe(telemetry.KeeperDwell, time.Since(at))
+				p.dwellAt[o] = time.Time{}
+			}
+		}
 		idx, val := p.qIdx[o], p.qVal[o]
 		sh.Add(telemetry.KeeperDrained, len(idx))
 		for j, i := range idx {

@@ -107,8 +107,8 @@ func TestBlockCASCountersDeterministic(t *testing.T) {
 
 	p0 := r.Private(0)
 	p1 := r.Private(1)
-	p0.Add(3, 1) // tid 0 claims block 0
-	p1.Add(4, 1) // tid 1 loses the claim -> fallback private block
+	p0.Add(3, 1)  // tid 0 claims block 0
+	p1.Add(4, 1)  // tid 1 loses the claim -> fallback private block
 	p1.Add(12, 1) // tid 1 claims block 1
 	p0.Done()
 	p1.Done()
@@ -319,7 +319,7 @@ func TestEntryCounters(t *testing.T) {
 		r    Reducer[float64]
 		want uint64
 	}{
-		{NewMap(make([]float64, n), 1), 3},    // 3 distinct keys
+		{NewMap(make([]float64, n), 1), 3},      // 3 distinct keys
 		{NewBTree(make([]float64, n), 1, 0), 3}, // 3 distinct keys
 		{NewOrdered(make([]float64, n), 1), 4},  // 4 log records
 	} {

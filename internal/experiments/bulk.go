@@ -6,6 +6,7 @@ import (
 	"spray"
 	"spray/internal/bench"
 	"spray/internal/sparse"
+	"spray/internal/telemetry"
 )
 
 // BulkConfig parameterizes the bulk-update comparison: every strategy is
@@ -24,6 +25,11 @@ type BulkConfig struct {
 	// point, labeled "<strategy>/<each|bulk> t=<threads>".
 	Telemetry bool
 	OnReport  func(label string, rep spray.RegionReport)
+
+	// Trace, when set, records a span timeline per (strategy, threads)
+	// configuration into the sink (both the each and bulk passes land in
+	// the same process, named "<workload>/<strategy> t=<threads>").
+	Trace *telemetry.TraceSink
 }
 
 // DefaultBulkConfig selects the strategies where the batch path has a
@@ -76,6 +82,9 @@ func BulkConv(cfg BulkConfig) *bench.Result {
 	for _, st := range cfg.Strategies {
 		for _, th := range cfg.Threads {
 			team := spray.NewTeam(th)
+			if cfg.Trace != nil {
+				team.SetTracer(cfg.Trace.New(fmt.Sprintf("conv/%s t=%d", st, th), th))
+			}
 			r := spray.New(st, out, th)
 			var in *spray.Instrumentation
 			if cfg.Telemetry {
@@ -122,6 +131,9 @@ func BulkTMV(cfg BulkConfig) *bench.Result {
 	for _, st := range cfg.Strategies {
 		for _, th := range cfg.Threads {
 			team := spray.NewTeam(th)
+			if cfg.Trace != nil {
+				team.SetTracer(cfg.Trace.New(fmt.Sprintf("tmv/%s t=%d", st, th), th))
+			}
 			r := spray.New(st, y, th)
 			var in *spray.Instrumentation
 			if cfg.Telemetry {

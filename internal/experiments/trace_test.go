@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"spray/internal/telemetry"
+)
+
+// TestFig11TraceSinkCapturesEveryPoint checks the experiment drivers'
+// trace plumbing: with a sink configured, every (strategy, thread-count)
+// point of the sweep gets its own tracer/timeline, and the combined
+// export is loadable Chrome trace-event JSON.
+func TestFig11TraceSinkCapturesEveryPoint(t *testing.T) {
+	cfg := quickConvConfig()
+	cfg.Trace = telemetry.NewTraceSink(256)
+	Fig11(cfg)
+
+	want := len(cfg.Strategies) * len(cfg.Threads)
+	if cfg.Trace.Len() != want {
+		t.Fatalf("sink holds %d tracers, want %d (one per sweep point)", cfg.Trace.Len(), want)
+	}
+
+	var buf bytes.Buffer
+	if err := cfg.Trace.WriteChrome(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("combined trace is not valid JSON: %v", err)
+	}
+	pids := map[int]bool{}
+	procNames := 0
+	spans := 0
+	for _, e := range trace.TraceEvents {
+		pids[e.Pid] = true
+		switch {
+		case e.Name == "process_name":
+			procNames++
+		case e.Ph == "B":
+			spans++
+		}
+	}
+	if len(pids) != want || procNames != want {
+		t.Errorf("%d pids and %d process_name events, want %d of each", len(pids), procNames, want)
+	}
+	if spans == 0 {
+		t.Error("no span events captured from the sweep")
+	}
+}

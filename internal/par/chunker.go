@@ -1,6 +1,10 @@
 package par
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"spray/internal/telemetry"
+)
 
 // Chunker hands out the chunks of one loop instance according to a
 // schedule. It exists so callers that need per-thread prologue/epilogue
@@ -11,7 +15,8 @@ type Chunker struct {
 	s      Schedule
 	lo, hi int
 	n      int
-	next   atomic.Int64 // shared cursor for dynamic/guided
+	tracer *telemetry.Tracer // nil = chunk spans off
+	next   atomic.Int64      // shared cursor for dynamic/guided
 }
 
 // NewChunker prepares chunk hand-out for the range [lo, hi) on a team of
@@ -23,12 +28,25 @@ func NewChunker(s Schedule, lo, hi, teamSize int) *Chunker {
 	return c
 }
 
+// SetTracer attaches a span tracer: every chunk handed out by For is
+// bracketed as a chunk span (args: from, to) on the receiving member's
+// timeline. Attach before the loop starts.
+func (c *Chunker) SetTracer(tr *telemetry.Tracer) { c.tracer = tr }
+
 // For invokes body for every chunk assigned to member tid, in hand-out
 // order. All members of the team must call For exactly once for dynamic
 // and guided schedules to distribute the full range.
 func (c *Chunker) For(tid int, body func(from, to int)) {
 	if c.hi <= c.lo {
 		return
+	}
+	if tr := c.tracer; tr != nil {
+		inner := body
+		body = func(from, to int) {
+			tr.Begin(tid, telemetry.SpanChunk, int64(from), int64(to))
+			inner(from, to)
+			tr.End(tid, telemetry.SpanChunk)
+		}
 	}
 	switch c.s.Kind {
 	case KindStatic:

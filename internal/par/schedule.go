@@ -95,6 +95,7 @@ func ParallelFor(t *Team, lo, hi int, s Schedule, body func(tid, from, to int)) 
 		return
 	}
 	c := NewChunker(s, lo, hi, t.size)
+	c.SetTracer(t.Tracer())
 	t.Run(func(tid int) {
 		c.For(tid, func(from, to int) { body(tid, from, to) })
 	})

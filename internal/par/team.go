@@ -19,6 +19,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"spray/internal/telemetry"
 )
 
 // Team is a fixed-size group of workers that execute parallel regions
@@ -31,7 +33,9 @@ type Team struct {
 	done    sync.WaitGroup
 	barrier *Barrier
 	closed  bool
-	timing  *Timing // nil = lifecycle timing off (the default)
+	timing  *Timing           // nil = lifecycle timing off (the default)
+	tracer  *telemetry.Tracer // nil = span tracing off (the default)
+	regions int64             // regions dispatched; numbers trace spans
 
 	panicMu  sync.Mutex
 	panicVal any // first panic raised by a worker during the current region
@@ -119,6 +123,21 @@ func (t *Team) SetTiming(tm *Timing) {
 // timing is off.
 func (t *Team) Timing() *Timing { return t.timing }
 
+// SetTracer attaches (or, with nil, detaches) a span-timeline tracer:
+// subsequent regions record per-member region spans, BarrierTid records
+// barrier waits, and drivers with access to the team (chunkers, fix-ups)
+// add chunk/finalize/drain spans. tr must have at least as many rings as
+// the team has members. Not safe to call while a region is running.
+func (t *Team) SetTracer(tr *telemetry.Tracer) {
+	if tr != nil && tr.Threads() < t.size {
+		panic(fmt.Sprintf("par: tracer built for %d threads attached to a team of %d", tr.Threads(), t.size))
+	}
+	t.tracer = tr
+}
+
+// Tracer returns the attached span tracer, or nil when tracing is off.
+func (t *Team) Tracer() *telemetry.Tracer { return t.tracer }
+
 // Run executes fn once per team member, concurrently, and returns when all
 // members have finished — the analogue of an OpenMP parallel region. The
 // caller runs as tid 0. Run must not be called from inside a region on the
@@ -139,15 +158,16 @@ func (t *Team) Run(fn func(tid int)) {
 	if t.closed {
 		panic("par: Run on closed team")
 	}
-	tm := t.timing
+	tm, tr := t.timing, t.tracer
 	run := fn
 	var task *trace.Task
-	if traced := trace.IsEnabled(); tm != nil || traced {
+	if traced := trace.IsEnabled(); tm != nil || tr != nil || traced {
 		var ctx context.Context = context.Background()
 		if traced {
 			ctx, task = trace.NewTask(ctx, "par.Run")
 		}
-		run = instrumentRegion(ctx, fn, tm, traced)
+		t.regions++
+		run = instrumentRegion(ctx, fn, tm, tr, t.regions, traced)
 	}
 	var start time.Time
 	if tm != nil {
@@ -186,13 +206,18 @@ func (t *Team) Run(fn func(tid int)) {
 	}
 }
 
-// instrumentRegion wraps a region body with per-member busy timing and
-// execution-trace regions. The wrapper is only built when telemetry or
-// tracing is on — the default Run path dispatches fn untouched.
-func instrumentRegion(ctx context.Context, fn func(int), tm *Timing, traced bool) func(int) {
+// instrumentRegion wraps a region body with per-member busy timing,
+// span-timeline region events, and execution-trace regions. The wrapper
+// is only built when telemetry or tracing is on — the default Run path
+// dispatches fn untouched.
+func instrumentRegion(ctx context.Context, fn func(int), tm *Timing, tr *telemetry.Tracer, region int64, traced bool) func(int) {
 	return func(tid int) {
 		if traced {
 			defer trace.StartRegion(ctx, "par.member").End()
+		}
+		if tr != nil {
+			tr.Begin(tid, telemetry.SpanRegion, region, 0)
+			defer tr.End(tid, telemetry.SpanRegion)
 		}
 		if tm != nil {
 			start := time.Now()
@@ -232,6 +257,20 @@ func (t *Team) Barrier() {
 		return
 	}
 	t.barrier.Wait()
+}
+
+// BarrierTid is Barrier for callers that know their member id: with a
+// tracer attached the wait additionally appears as a barrier span on
+// member tid's timeline. Without a tracer it is exactly Barrier.
+func (t *Team) BarrierTid(tid int) {
+	tr := t.tracer
+	if tr == nil {
+		t.Barrier()
+		return
+	}
+	tr.Begin(tid, telemetry.SpanBarrier, 0, 0)
+	t.Barrier()
+	tr.End(tid, telemetry.SpanBarrier)
 }
 
 // Close shuts down the worker goroutines. The team must not be used after

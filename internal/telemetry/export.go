@@ -34,13 +34,18 @@ func Register(r *Recorder) {
 	recorders = append(recorders, r)
 }
 
-// Unregister removes r from the live-export registry.
+// Unregister removes r from the live-export registry. The vacated tail
+// slot is cleared so the backing array does not keep the recorder (and
+// its shards) alive — repeated Instrument/Detach cycles, as in
+// per-benchmark-point instrumentation, must not accumulate anything.
 func Unregister(r *Recorder) {
 	regMu.Lock()
 	defer regMu.Unlock()
 	for i, have := range recorders {
 		if have == r {
-			recorders = append(recorders[:i], recorders[i+1:]...)
+			copy(recorders[i:], recorders[i+1:])
+			recorders[len(recorders)-1] = nil
+			recorders = recorders[:len(recorders)-1]
 			return
 		}
 	}

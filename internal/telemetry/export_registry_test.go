@@ -1,0 +1,48 @@
+package telemetry
+
+import "testing"
+
+// TestUnregisterClearsVacatedSlot guards the registry against the leak
+// where removing a recorder left a stale pointer in the tail of the
+// backing array: repeated register/unregister cycles (one per
+// instrumented benchmark point) must not keep any detached recorder —
+// and its cache-line-padded shards — reachable.
+func TestUnregisterClearsVacatedSlot(t *testing.T) {
+	r1 := NewRecorder("leak-a", 2)
+	r2 := NewRecorder("leak-b", 2)
+	Register(r1)
+	Register(r2)
+	Unregister(r1) // removes from the middle: tail slides down
+
+	regMu.Lock()
+	full := recorders[:cap(recorders)]
+	for i, have := range full {
+		if have == r1 {
+			regMu.Unlock()
+			t.Fatalf("unregistered recorder still pinned in backing array slot %d", i)
+		}
+	}
+	regMu.Unlock()
+	Unregister(r2)
+}
+
+// TestRegisterUnregisterCyclesDoNotGrow drives many attach/detach
+// cycles and checks the registry footprint stays flat — the /debug/vars
+// export must only ever see currently-attached recorders.
+func TestRegisterUnregisterCyclesDoNotGrow(t *testing.T) {
+	before := len(Registered())
+	for i := 0; i < 200; i++ {
+		r := NewRecorder("cycle", 4)
+		Register(r)
+		Unregister(r)
+	}
+	after := Registered()
+	if len(after) != before {
+		t.Fatalf("registry grew from %d to %d entries", before, len(after))
+	}
+	for _, r := range after {
+		if r.Name() == "cycle" {
+			t.Fatal("detached recorder still exported")
+		}
+	}
+}

@@ -1,0 +1,391 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// The trace timeline layer: bounded per-thread span rings that the
+// parallel runtime (internal/par) and the strategy fix-ups feed with
+// begin/end events, exported as Chrome trace-event JSON loadable in
+// Perfetto or chrome://tracing. Like the counter shards, a nil *Tracer
+// is the "tracing off" state: every emit method is nil-safe and the
+// untraced path pays one predictable branch at the call site.
+
+// SpanKind enumerates the span types the runtime records.
+type SpanKind uint8
+
+const (
+	// SpanRegion brackets one team member's execution of a parallel
+	// region body (arg0 = region sequence number).
+	SpanRegion SpanKind = iota
+	// SpanChunk brackets one dispatched loop chunk (arg0 = from,
+	// arg1 = to).
+	SpanChunk
+	// SpanBarrier brackets the wait inside a team barrier.
+	SpanBarrier
+	// SpanFinalize brackets the reduction fix-up step.
+	SpanFinalize
+	// SpanDrain brackets one owner-range drain of queued update
+	// requests during a keeper fix-up (arg0 = owner).
+	SpanDrain
+
+	numSpanKinds
+)
+
+var spanNames = [numSpanKinds]string{
+	SpanRegion:   "region",
+	SpanChunk:    "chunk",
+	SpanBarrier:  "barrier",
+	SpanFinalize: "finalize",
+	SpanDrain:    "drain",
+}
+
+// String returns the span name used in the exported trace.
+func (k SpanKind) String() string {
+	if int(k) < len(spanNames) {
+		return spanNames[k]
+	}
+	return fmt.Sprintf("span(%d)", int(k))
+}
+
+// traceEvent is one ring entry. ph is 'B' (begin), 'E' (end) or 'I'
+// (instant), mirroring the Chrome trace-event phases.
+type traceEvent struct {
+	ts   int64 // ns since the tracer's base time
+	arg0 int64
+	arg1 int64
+	kind SpanKind
+	ph   byte
+}
+
+// traceRing is one thread's bounded event buffer. When full, the oldest
+// event is overwritten and counted as dropped — tracing a long run
+// keeps the most recent window instead of growing without bound. Only
+// the owning thread writes; reads (export, Dropped) must happen after
+// the region has joined. Padding keeps neighboring rings off each
+// other's cache lines.
+type traceRing struct {
+	buf     []traceEvent
+	next    int
+	wrapped bool
+	dropped uint64
+	_       [64]byte
+}
+
+func (g *traceRing) push(e traceEvent) {
+	if g.next == len(g.buf) {
+		g.next = 0
+		g.wrapped = true
+	}
+	if g.wrapped {
+		g.dropped++
+	}
+	g.buf[g.next] = e
+	g.next++
+}
+
+// ordered returns the ring's events oldest-first.
+func (g *traceRing) ordered() []traceEvent {
+	if !g.wrapped {
+		return g.buf[:g.next]
+	}
+	out := make([]traceEvent, 0, len(g.buf))
+	out = append(out, g.buf[g.next:]...)
+	out = append(out, g.buf[:g.next]...)
+	return out
+}
+
+// DefaultTraceEvents is the per-thread ring capacity used when a tracer
+// is created with a non-positive capacity.
+const DefaultTraceEvents = 4096
+
+// Tracer records span events for one team into per-thread rings. Emit
+// methods are nil-safe and owner-thread-only; export and inspection
+// methods must run after the traced regions have joined (the usual
+// instrument → run → write lifecycle).
+type Tracer struct {
+	base  time.Time
+	rings []traceRing
+}
+
+// NewTracer creates a tracer for a team of the given size with the
+// given per-thread ring capacity (<= 0 selects DefaultTraceEvents).
+func NewTracer(threads, eventsPerThread int) *Tracer {
+	if threads < 1 {
+		panic(fmt.Sprintf("telemetry: tracer needs a positive thread count, got %d", threads))
+	}
+	if eventsPerThread <= 0 {
+		eventsPerThread = DefaultTraceEvents
+	}
+	tr := &Tracer{base: time.Now(), rings: make([]traceRing, threads)}
+	for t := range tr.rings {
+		tr.rings[t].buf = make([]traceEvent, eventsPerThread)
+		tr.rings[t].next = 0
+	}
+	return tr
+}
+
+// Threads returns the number of per-thread rings.
+func (tr *Tracer) Threads() int {
+	if tr == nil {
+		return 0
+	}
+	return len(tr.rings)
+}
+
+func (tr *Tracer) now() int64 { return int64(time.Since(tr.base)) }
+
+// Begin opens a span of the given kind on member tid's timeline.
+func (tr *Tracer) Begin(tid int, k SpanKind, arg0, arg1 int64) {
+	if tr == nil {
+		return
+	}
+	tr.rings[tid].push(traceEvent{ts: tr.now(), arg0: arg0, arg1: arg1, kind: k, ph: 'B'})
+}
+
+// End closes the innermost open span of the given kind on member tid's
+// timeline.
+func (tr *Tracer) End(tid int, k SpanKind) {
+	if tr == nil {
+		return
+	}
+	tr.rings[tid].push(traceEvent{ts: tr.now(), kind: k, ph: 'E'})
+}
+
+// Instant records a zero-duration marker on member tid's timeline.
+func (tr *Tracer) Instant(tid int, k SpanKind, arg0, arg1 int64) {
+	if tr == nil {
+		return
+	}
+	tr.rings[tid].push(traceEvent{ts: tr.now(), arg0: arg0, arg1: arg1, kind: k, ph: 'I'})
+}
+
+// Dropped returns the number of events evicted by ring overflow so far.
+func (tr *Tracer) Dropped() uint64 {
+	if tr == nil {
+		return 0
+	}
+	var n uint64
+	for t := range tr.rings {
+		n += tr.rings[t].dropped
+	}
+	return n
+}
+
+// Events returns the number of events currently held across all rings.
+func (tr *Tracer) Events() int {
+	if tr == nil {
+		return 0
+	}
+	var n int
+	for t := range tr.rings {
+		if tr.rings[t].wrapped {
+			n += len(tr.rings[t].buf)
+		} else {
+			n += tr.rings[t].next
+		}
+	}
+	return n
+}
+
+// Reset empties every ring and zeroes the drop counters; the time base
+// is kept so successive windows share one clock.
+func (tr *Tracer) Reset() {
+	if tr == nil {
+		return
+	}
+	for t := range tr.rings {
+		tr.rings[t].next = 0
+		tr.rings[t].wrapped = false
+		tr.rings[t].dropped = 0
+	}
+}
+
+// chromeEvent is the exported Chrome trace-event record. TS is in
+// microseconds as the format requires.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	TS   float64          `json:"ts"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// chromeMeta is a Chrome metadata event (process/thread naming).
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// chromeFile is the object form of the trace-event format: the event
+// array plus free-form metadata (drop counts).
+type chromeFile struct {
+	TraceEvents []json.RawMessage `json:"traceEvents"`
+	OtherData   map[string]uint64 `json:"otherData,omitempty"`
+}
+
+// sanitize marks the events of one timeline that survive export: only
+// properly matched B/E pairs (per span kind, stack-nested) and instants
+// are kept, so a ring whose overflow evicted a begin event can never
+// emit the orphaned end — the file stays loadable. It returns the
+// number of skipped (orphaned) events.
+func sanitize(events []traceEvent) (valid []bool, skipped int) {
+	valid = make([]bool, len(events))
+	var stack []int
+	for i, e := range events {
+		switch e.ph {
+		case 'B':
+			stack = append(stack, i)
+		case 'E':
+			if n := len(stack); n > 0 && events[stack[n-1]].kind == e.kind {
+				valid[stack[n-1]] = true
+				valid[i] = true
+				stack = stack[:n-1]
+			} else {
+				skipped++
+			}
+		default:
+			valid[i] = true
+		}
+	}
+	skipped += len(stack) // unclosed begins
+	return valid, skipped
+}
+
+// TraceProcess names one tracer for a multi-process export: each
+// process becomes its own pid/track group in the viewer.
+type TraceProcess struct {
+	Name   string
+	Tracer *Tracer
+}
+
+// WriteChrome writes the tracer's events as Chrome trace-event JSON
+// (object form) under process name "spray". Must not run concurrently
+// with a traced region.
+func (tr *Tracer) WriteChrome(w io.Writer) error {
+	return WriteChromeProcesses(w, []TraceProcess{{Name: "spray", Tracer: tr}})
+}
+
+// WriteChromeProcesses writes several tracers into one Chrome trace
+// file, one pid per tracer (pids start at 1). Orphaned events from ring
+// overflow are dropped and counted under otherData.trace_dropped
+// together with the ring evictions.
+func WriteChromeProcesses(w io.Writer, procs []TraceProcess) error {
+	var events []json.RawMessage
+	var dropped uint64
+	appendJSON := func(v any) error {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		events = append(events, raw)
+		return nil
+	}
+	for pi, proc := range procs {
+		pid := pi + 1
+		if err := appendJSON(chromeMeta{Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]string{"name": proc.Name}}); err != nil {
+			return err
+		}
+		tr := proc.Tracer
+		if tr == nil {
+			continue
+		}
+		dropped += tr.Dropped()
+		for tid := range tr.rings {
+			if err := appendJSON(chromeMeta{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]string{"name": fmt.Sprintf("member %d", tid)}}); err != nil {
+				return err
+			}
+			ordered := tr.rings[tid].ordered()
+			valid, skipped := sanitize(ordered)
+			dropped += uint64(skipped)
+			for i, e := range ordered {
+				if !valid[i] {
+					continue
+				}
+				ce := chromeEvent{
+					Name: e.kind.String(),
+					Ph:   string(e.ph),
+					TS:   float64(e.ts) / 1e3,
+					Pid:  pid,
+					Tid:  tid,
+				}
+				if e.ph != 'E' && (e.arg0 != 0 || e.arg1 != 0) {
+					ce.Args = map[string]int64{"arg0": e.arg0, "arg1": e.arg1}
+				}
+				if err := appendJSON(ce); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	file := chromeFile{TraceEvents: events}
+	if dropped > 0 {
+		file.OtherData = map[string]uint64{"trace_dropped": dropped}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(file)
+}
+
+// TraceSink collects named tracers from a multi-run sweep (one tracer
+// per measured point) and writes them as one multi-process Chrome
+// trace. Registration is concurrency-safe; writing must happen after
+// the traced runs complete.
+type TraceSink struct {
+	mu              sync.Mutex
+	procs           []TraceProcess
+	eventsPerThread int
+}
+
+// NewTraceSink creates a sink whose tracers use the given per-thread
+// ring capacity (<= 0 selects DefaultTraceEvents).
+func NewTraceSink(eventsPerThread int) *TraceSink {
+	return &TraceSink{eventsPerThread: eventsPerThread}
+}
+
+// New creates, registers and returns a tracer for a team of the given
+// size, exported as process name.
+func (s *TraceSink) New(name string, threads int) *Tracer {
+	tr := NewTracer(threads, s.eventsPerThread)
+	s.mu.Lock()
+	s.procs = append(s.procs, TraceProcess{Name: name, Tracer: tr})
+	s.mu.Unlock()
+	return tr
+}
+
+// Len returns the number of registered tracers.
+func (s *TraceSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.procs)
+}
+
+// Dropped sums ring evictions across all registered tracers.
+func (s *TraceSink) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n uint64
+	for _, p := range s.procs {
+		n += p.Tracer.Dropped()
+	}
+	return n
+}
+
+// WriteChrome writes all registered tracers as one Chrome trace file.
+func (s *TraceSink) WriteChrome(w io.Writer) error {
+	s.mu.Lock()
+	procs := make([]TraceProcess, len(s.procs))
+	copy(procs, s.procs)
+	s.mu.Unlock()
+	return WriteChromeProcesses(w, procs)
+}

@@ -1,0 +1,292 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// chromeTrace mirrors the exported file shape for test-side parsing.
+// Args values are strings on metadata events and numbers on span events,
+// so they parse as any.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	OtherData map[string]uint64 `json:"otherData"`
+}
+
+// numArg reads a numeric span argument from a parsed event.
+func numArg(args map[string]any, key string) int64 {
+	v, ok := args[key].(float64)
+	if !ok {
+		return -1
+	}
+	return int64(v)
+}
+
+func parseChrome(t *testing.T, data []byte) chromeTrace {
+	t.Helper()
+	var tr chromeTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, data)
+	}
+	return tr
+}
+
+// checkStructure asserts the Chrome trace-event invariants: known
+// phases, set pid/tid, and stack-matched B/E pairs per (pid, tid).
+func checkStructure(t *testing.T, tr chromeTrace) {
+	t.Helper()
+	type track struct{ pid, tid int }
+	stacks := map[track][]string{}
+	for i, e := range tr.TraceEvents {
+		if e.Name == "" {
+			t.Fatalf("event %d has no name", i)
+		}
+		if e.Pid < 1 {
+			t.Fatalf("event %d (%s) pid %d", i, e.Name, e.Pid)
+		}
+		k := track{e.Pid, e.Tid}
+		switch e.Ph {
+		case "M", "I":
+		case "B":
+			stacks[k] = append(stacks[k], e.Name)
+		case "E":
+			st := stacks[k]
+			if len(st) == 0 {
+				t.Fatalf("event %d: E %q with no open span on pid=%d tid=%d", i, e.Name, e.Pid, e.Tid)
+			}
+			if st[len(st)-1] != e.Name {
+				t.Fatalf("event %d: E %q closes open span %q", i, e.Name, st[len(st)-1])
+			}
+			stacks[k] = st[:len(st)-1]
+		default:
+			t.Fatalf("event %d has unknown phase %q", i, e.Ph)
+		}
+		if e.Ph != "M" && e.TS < 0 {
+			t.Fatalf("event %d has negative timestamp", i)
+		}
+	}
+	for k, st := range stacks {
+		if len(st) != 0 {
+			t.Fatalf("pid=%d tid=%d left %d unclosed spans %v", k.pid, k.tid, len(st), st)
+		}
+	}
+}
+
+func TestTracerWritesValidChromeTrace(t *testing.T) {
+	tr := NewTracer(2, 64)
+	for tid := 0; tid < 2; tid++ {
+		tr.Begin(tid, SpanRegion, int64(tid), 0)
+		tr.Begin(tid, SpanChunk, 0, 100)
+		tr.End(tid, SpanChunk)
+		tr.Begin(tid, SpanBarrier, 0, 0)
+		tr.End(tid, SpanBarrier)
+		tr.End(tid, SpanRegion)
+	}
+	tr.Instant(0, SpanFinalize, 1, 2)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	ct := parseChrome(t, buf.Bytes())
+	checkStructure(t, ct)
+
+	names := map[string]int{}
+	phases := map[string]int{}
+	for _, e := range ct.TraceEvents {
+		names[e.Name]++
+		phases[e.Ph]++
+	}
+	if names["region"] != 4 || names["chunk"] != 4 || names["barrier"] != 4 {
+		t.Errorf("span counts %v", names)
+	}
+	if phases["B"] != phases["E"] || phases["B"] != 6 {
+		t.Errorf("phase counts %v", phases)
+	}
+	if names["process_name"] != 1 || names["thread_name"] != 2 {
+		t.Errorf("metadata events %v", names)
+	}
+	if phases["I"] != 1 {
+		t.Errorf("instant events %v", phases)
+	}
+	// Begin events carry their arguments; chunk begins carry [from, to).
+	for _, e := range ct.TraceEvents {
+		if e.Name == "chunk" && e.Ph == "B" {
+			if numArg(e.Args, "arg0") != 0 || numArg(e.Args, "arg1") != 100 {
+				t.Errorf("chunk args %v", e.Args)
+			}
+		}
+	}
+	if len(ct.OtherData) != 0 {
+		t.Errorf("unexpected drops %v", ct.OtherData)
+	}
+	if tr.Events() != 13 {
+		t.Errorf("events held = %d", tr.Events())
+	}
+}
+
+func TestTraceRingOverflowDropsOldestAndCounts(t *testing.T) {
+	const capacity = 16
+	tr := NewTracer(1, capacity)
+	const pairs = 100
+	for i := 0; i < pairs; i++ {
+		tr.Begin(0, SpanChunk, int64(i), int64(i+1))
+		tr.End(0, SpanChunk)
+	}
+	wantDropped := uint64(2*pairs - capacity)
+	if got := tr.Dropped(); got != wantDropped {
+		t.Fatalf("dropped = %d, want %d", got, wantDropped)
+	}
+	if got := tr.Events(); got != capacity {
+		t.Fatalf("events held = %d, want %d", got, capacity)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	ct := parseChrome(t, buf.Bytes())
+	checkStructure(t, ct)
+	// The survivors are the newest chunks: arg0 strictly increasing and
+	// ending at the last pair.
+	var last int64 = -1
+	n := 0
+	for _, e := range ct.TraceEvents {
+		if e.Name != "chunk" || e.Ph != "B" {
+			continue
+		}
+		if a := numArg(e.Args, "arg0"); a <= last {
+			t.Fatalf("survivor order broken: %d after %d", a, last)
+		} else {
+			last = a
+		}
+		n++
+	}
+	if last != pairs-1 {
+		t.Errorf("newest surviving chunk = %d, want %d", last, pairs-1)
+	}
+	if n != capacity/2 {
+		t.Errorf("%d surviving pairs, want %d", n, capacity/2)
+	}
+	if ct.OtherData["trace_dropped"] < wantDropped {
+		t.Errorf("otherData.trace_dropped = %d, want >= %d", ct.OtherData["trace_dropped"], wantDropped)
+	}
+}
+
+func TestTraceOverflowOrphanSkipped(t *testing.T) {
+	// Capacity 3 with two B/E pairs: the first pair's B is evicted, so
+	// the ring holds E B E. The orphaned E must be sanitized away (and
+	// counted), leaving a loadable file with one matched pair.
+	tr := NewTracer(1, 3)
+	tr.Begin(0, SpanRegion, 0, 0)
+	tr.End(0, SpanRegion)
+	tr.Begin(0, SpanRegion, 1, 0)
+	tr.End(0, SpanRegion)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	ct := parseChrome(t, buf.Bytes())
+	checkStructure(t, ct)
+	b, e := 0, 0
+	for _, ev := range ct.TraceEvents {
+		if ev.Name == "region" {
+			switch ev.Ph {
+			case "B":
+				b++
+			case "E":
+				e++
+			}
+		}
+	}
+	if b != 1 || e != 1 {
+		t.Errorf("survived %d B / %d E, want 1/1", b, e)
+	}
+	if ct.OtherData["trace_dropped"] == 0 {
+		t.Error("orphan not counted as dropped")
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Begin(0, SpanRegion, 0, 0)
+	tr.End(0, SpanRegion)
+	tr.Instant(0, SpanChunk, 0, 0)
+	tr.Reset()
+	if tr.Threads() != 0 || tr.Dropped() != 0 || tr.Events() != 0 {
+		t.Error("nil tracer has state")
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := NewTracer(1, 4)
+	for i := 0; i < 10; i++ {
+		tr.Instant(0, SpanChunk, int64(i), 0)
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("expected drops before reset")
+	}
+	tr.Reset()
+	if tr.Events() != 0 || tr.Dropped() != 0 {
+		t.Error("reset left events or drops")
+	}
+	tr.Begin(0, SpanRegion, 0, 0)
+	tr.End(0, SpanRegion)
+	if tr.Events() != 2 {
+		t.Errorf("events after reset = %d", tr.Events())
+	}
+}
+
+func TestTraceSinkMultiProcess(t *testing.T) {
+	sink := NewTraceSink(32)
+	a := sink.New("atomic t=2", 2)
+	b := sink.New("keeper t=1", 1)
+	a.Begin(1, SpanRegion, 0, 0)
+	a.End(1, SpanRegion)
+	b.Instant(0, SpanDrain, 3, 0)
+	if sink.Len() != 2 {
+		t.Fatalf("sink has %d tracers", sink.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := sink.WriteChrome(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	ct := parseChrome(t, buf.Bytes())
+	checkStructure(t, ct)
+
+	pids := map[int]bool{}
+	procNames := 0
+	for _, e := range ct.TraceEvents {
+		pids[e.Pid] = true
+		if e.Name == "process_name" {
+			procNames++
+		}
+	}
+	if len(pids) != 2 || procNames != 2 {
+		t.Errorf("pids %v, process_name events %d", pids, procNames)
+	}
+	if sink.Dropped() != 0 {
+		t.Errorf("sink dropped %d", sink.Dropped())
+	}
+}
+
+func TestSpanKindNames(t *testing.T) {
+	seen := map[string]bool{}
+	for k := SpanKind(0); k < numSpanKinds; k++ {
+		n := k.String()
+		if n == "" || seen[n] {
+			t.Errorf("span kind %d name %q", k, n)
+		}
+		seen[n] = true
+	}
+}

@@ -172,6 +172,7 @@ func RunReduction[T Value](t *Team, r Reducer[T], lo, hi int, s Schedule, body f
 		panic("spray: reducer thread count does not match team size")
 	}
 	c := par.NewChunker(s, lo, hi, t.Size())
+	c.SetTracer(t.Tracer())
 	t.Run(func(tid int) {
 		acc := r.Private(tid)
 		c.For(tid, func(from, to int) { body(acc, from, to) })

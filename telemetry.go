@@ -1,6 +1,7 @@
 package spray
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -71,7 +72,47 @@ type Instrumentation struct {
 	peak       func() int64
 	detach     func()
 	ownsTiming bool
+	tracer     *telemetry.Tracer
+	ownsTracer bool
 }
+
+// EnableTrace turns on span tracing for the instrumented team: every
+// region, chunk, finalize merge and keeper drain executed after the call
+// is recorded as a timeline event in a bounded per-member ring buffer
+// (eventsPerThread entries each; <= 0 selects the default of
+// telemetry.DefaultTraceEvents). When the rings fill, the oldest events
+// are dropped and counted — the report surfaces them as trace-dropped.
+// Read the timeline back with WriteTrace. If the team already has a
+// tracer attached (e.g. by a previous Instrumentation), it is shared.
+// Must not be called while a region is running.
+func (in *Instrumentation) EnableTrace(eventsPerThread int) {
+	if in.tracer != nil {
+		return
+	}
+	if tr := in.team.Tracer(); tr != nil {
+		in.tracer = tr
+		return
+	}
+	in.tracer = telemetry.NewTracer(in.team.Size(), eventsPerThread)
+	in.team.SetTracer(in.tracer)
+	in.ownsTracer = true
+}
+
+// WriteTrace writes everything the tracer has recorded as Chrome
+// trace-event JSON — load the file at chrome://tracing or ui.perfetto.dev.
+// Returns an error if EnableTrace was never called. Call after the regions
+// of interest have completed; events recorded afterwards land in the same
+// rings until Detach.
+func (in *Instrumentation) WriteTrace(w io.Writer) error {
+	if in.tracer == nil {
+		return errors.New("spray: tracing not enabled; call EnableTrace first")
+	}
+	return in.tracer.WriteChrome(w)
+}
+
+// Tracer returns the attached span tracer, or nil if EnableTrace was
+// never called.
+func (in *Instrumentation) Tracer() *telemetry.Tracer { return in.tracer }
 
 // Report snapshots everything accumulated since Instrument (or the last
 // Reset) into one RegionReport. Safe to call while a region is running —
@@ -79,6 +120,14 @@ type Instrumentation struct {
 // naturally partial.
 func (in *Instrumentation) Report() RegionReport {
 	ts := in.tm.Snapshot()
+	counters := in.rec.Snapshot()
+	if tr := in.tracer; tr != nil {
+		counters[telemetry.TraceDropped] += tr.Dropped()
+	} else if tr := in.team.Tracer(); tr != nil {
+		// A tracer attached outside this Instrumentation (e.g. a trace
+		// sink wired by an experiment driver) still reports its drops.
+		counters[telemetry.TraceDropped] += tr.Dropped()
+	}
 	return RegionReport{
 		Strategy:    in.strategy,
 		Threads:     in.rec.Threads(),
@@ -88,7 +137,8 @@ func (in *Instrumentation) Report() RegionReport {
 		BarrierWait: ts.BarrierWait,
 		Bytes:       in.bytes(),
 		PeakBytes:   in.peak(),
-		Counters:    in.rec.Snapshot(),
+		Counters:    counters,
+		Latencies:   in.rec.Hists(),
 	}
 }
 
@@ -121,6 +171,9 @@ func (in *Instrumentation) Detach() {
 	if in.ownsTiming && in.team.Timing() == in.tm {
 		in.team.SetTiming(nil)
 	}
+	if in.ownsTracer && in.team.Tracer() == in.tracer {
+		in.team.SetTracer(nil)
+	}
 }
 
 // ServeMetrics starts an HTTP server on addr (e.g. "localhost:6060", or
@@ -141,6 +194,10 @@ type RegionReport struct {
 	Bytes       int64           // reducer's current extra memory
 	PeakBytes   int64           // reducer's peak extra memory
 	Counters    telemetry.Snapshot
+	// Latencies holds one merged log-bucketed histogram per latency kind
+	// (cas-latency, claim-latency, keeper-dwell); kinds the strategy never
+	// fed have Count == 0.
+	Latencies [telemetry.NumHKinds]telemetry.HistSnapshot
 }
 
 // LoadImbalance returns max over mean per-member busy time — 1.0 is a
@@ -169,6 +226,12 @@ func (r RegionReport) WriteTable(w io.Writer) {
 	for k := telemetry.Kind(0); k < telemetry.NumKinds; k++ {
 		if v := r.Counters.Get(k); v != 0 {
 			row(k.String(), v)
+		}
+	}
+	for k := telemetry.HKind(0); k < telemetry.NumHKinds; k++ {
+		if h := r.Latencies[k]; h.Count != 0 {
+			row(k.String(), fmt.Sprintf("p50=%v p90=%v p99=%v max=%v (n=%d)",
+				h.P50(), h.P90(), h.P99(), h.MaxLatency(), h.Count))
 		}
 	}
 }
