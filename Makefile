@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci build vet test race race-telemetry bench-smoke overhead-smoke bench-bulk bench-observability bench-gate clean
+.PHONY: ci build vet lint test race race-telemetry bench-smoke overhead-smoke bench-bulk bench-observability bench-gate bench-scatter clean
 
 # ci is the tier-1 gate plus cheap benchmark compile-and-run checks,
 # including the telemetry-off overhead guard and the benchmark
 # regression gate.
-ci: vet build test race race-telemetry bench-smoke overhead-smoke bench-gate
+ci: vet lint build test race race-telemetry bench-smoke overhead-smoke bench-gate bench-scatter
 
 build:
 	$(GO) build ./...
@@ -13,17 +13,29 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint holds the write-combining engine and the reducer core to a
+# staticcheck-clean bar when the tool is available (it is not vendored;
+# the target degrades to a notice rather than installing anything).
+lint:
+	$(GO) vet ./internal/scatter ./internal/core
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./internal/scatter ./internal/core; \
+	else \
+		echo "lint: staticcheck not installed; skipped (go vet still ran)"; \
+	fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# race-telemetry focuses the race detector on the observability layer:
-# counter shards, region timing, latency histograms, trace rings, panic
-# wrapping, and the export registry.
+# race-telemetry focuses the race detector on the observability layer
+# and the concurrent scatter machinery: counter shards, region timing,
+# latency histograms, trace rings, panic wrapping, the export registry,
+# the keeper mailbox publish/drain protocol, and the binned wrapper.
 race-telemetry:
-	$(GO) test -race -run 'Telemetry|Instrument|Timing|WorkerPanic|Concurrent|Trace|Hist|Sample|Latency' ./internal/telemetry ./internal/par ./internal/core ./internal/memtrack ./internal/experiments .
+	$(GO) test -race -run 'Telemetry|Instrument|Timing|WorkerPanic|Concurrent|Trace|Hist|Sample|Latency|Mailbox|Drain|Binned' ./internal/telemetry ./internal/par ./internal/core ./internal/memtrack ./internal/scatter ./internal/experiments .
 
 # bench-smoke proves the bulk benchmarks run end to end without timing
 # anything meaningful (100 iterations per case).
@@ -60,6 +72,19 @@ bench-gate:
 	$(GO) run ./cmd/spraybulk -n 100000 -max-threads 2 -repeats 2 -min-time 10ms -workload conv -json BENCH_gate.json
 	$(GO) run ./cmd/benchdiff -gate -sigma 4 -min-rel 0.25 results/bench_baseline.json BENCH_gate.json
 
+# bench-scatter records the binned-vs-unbinned write-combining
+# comparison (duplicate-heavy conv adjoint stream + banded transpose
+# product) and gates it against the same baseline as bench-gate; scatter
+# points absent from an older baseline are reported, not failed. The
+# scatter points run few iterations per sample and the oversubscribed
+# 2-thread points swing ±60% run-to-run on a 1-core container, so the
+# band is much wider than bench-gate's — this is a step-change detector
+# (the fixture self-test's 50%-on-stable-points class), not a profiler.
+bench-scatter:
+	@mkdir -p results
+	$(GO) run ./cmd/spraybulk -n 100000 -max-threads 2 -repeats 3 -min-time 20ms -workload scatter -json BENCH_scatter.json
+	$(GO) run ./cmd/benchdiff -gate -sigma 4 -min-rel 0.75 results/bench_baseline.json BENCH_scatter.json
+
 clean:
-	rm -f BENCH_bulk.json BENCH_observability.json BENCH_gate.json
+	rm -f BENCH_bulk.json BENCH_observability.json BENCH_gate.json BENCH_scatter.json
 	$(GO) clean ./...

@@ -107,6 +107,16 @@ func main() {
 	// Beyond-paper strategies on the conv kernel.
 	emit(experiments.Extensions(convCfg), *outdir, "extensions.csv")
 
+	// Write-combining scatter: binned vs unbinned on the duplicate-heavy
+	// conv adjoint stream and the banded transpose product.
+	scfg := experiments.DefaultScatterConfig(convN/4, *maxThreads)
+	scfg.Runner = runner
+	scfg.Telemetry = *metrics
+	scfg.OnReport = onReport
+	scfg.Trace = sink
+	emit(experiments.ScatterConv(scfg), *outdir, "scatter_conv.csv")
+	emit(experiments.ScatterTMV(scfg), *outdir, "scatter_tmv.csv")
+
 	if sink != nil {
 		f, err := os.Create(*tracePath)
 		fatalIf(err)

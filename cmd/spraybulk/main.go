@@ -7,6 +7,12 @@
 //
 //	spraybulk -n 2000000 -max-threads 8
 //	spraybulk -workload tmv -json BENCH_bulk.json
+//
+// The scatter workload instead compares the plain Scatter path against
+// the binned write-combining wrapper (spray.Binned) on duplicate-heavy
+// streams:
+//
+//	spraybulk -workload scatter -json BENCH_scatter.json
 package main
 
 import (
@@ -28,7 +34,7 @@ func main() {
 		maxThreads = flag.Int("max-threads", 8, "largest thread count in the sweep")
 		threads    = flag.String("threads", "", "explicit comma-separated thread counts (overrides -max-threads)")
 		strategies = flag.String("strategies", "", "comma-separated strategy list (default: dense,atomic,block-cas,keeper)")
-		workload   = flag.String("workload", "all", "workload to run: conv, tmv or all")
+		workload   = flag.String("workload", "all", "workload to run: conv, tmv, scatter or all")
 		repeats    = flag.Int("repeats", 3, "samples per configuration")
 		minTime    = flag.Duration("min-time", 100*time.Millisecond, "minimum time per sample")
 		jsonPath   = flag.String("json", "BENCH_bulk.json", "write results as JSON to this path (empty = skip)")
@@ -69,16 +75,26 @@ func main() {
 		cfg.Strategies = sts
 	}
 
+	// The scatter comparison defaults to the write-combining strategy set
+	// unless the user picked strategies explicitly.
+	scfg := cfg
+	if *strategies == "" {
+		scfg.Strategies = experiments.DefaultScatterConfig(*n, *maxThreads).Strategies
+	}
+
 	var results []*bench.Result
 	switch *workload {
 	case "conv":
 		results = append(results, experiments.BulkConv(cfg))
 	case "tmv":
 		results = append(results, experiments.BulkTMV(cfg))
+	case "scatter":
+		results = append(results, experiments.ScatterConv(scfg), experiments.ScatterTMV(scfg))
 	case "all":
-		results = append(results, experiments.BulkConv(cfg), experiments.BulkTMV(cfg))
+		results = append(results, experiments.BulkConv(cfg), experiments.BulkTMV(cfg),
+			experiments.ScatterConv(scfg), experiments.ScatterTMV(scfg))
 	default:
-		fatalIf(fmt.Errorf("unknown workload %q (want conv, tmv or all)", *workload))
+		fatalIf(fmt.Errorf("unknown workload %q (want conv, tmv, scatter or all)", *workload))
 	}
 	for _, res := range results {
 		res.WriteTable(os.Stdout)

@@ -37,6 +37,39 @@ func TestBackpropMatchesSequentialAllStrategies(t *testing.T) {
 	}
 }
 
+// TestRunBackpropScatterMatchesSequential drives the duplicate-heavy
+// interleaved-triple scatter form — plain and through the write-combining
+// wrapper — and checks exact agreement with the sequential sweep (the
+// integer-valued seed makes every summation order exact).
+func TestRunBackpropScatterMatchesSequential(t *testing.T) {
+	const n = 3000
+	w := Weights3[float64]{WL: 0.25, WC: 0.5, WR: 0.25}
+	seed := randSeed(n, 4)
+	want := make([]float64, n)
+	w.BackpropSeq(seed, want)
+	for _, st := range []spray.Strategy{
+		spray.Atomic(),
+		spray.BlockCAS(64),
+		spray.Keeper(),
+		spray.Auto(64),
+		spray.Binned(spray.Atomic()),
+		spray.Binned(spray.BlockCAS(64)),
+		spray.Binned(spray.Keeper()),
+		spray.Binned(spray.Auto(64)),
+	} {
+		for _, threads := range []int{1, 4, 7} {
+			team := spray.NewTeam(threads)
+			out := make([]float64, n)
+			r := spray.New(st, out, threads)
+			w.RunBackpropScatter(team, r, seed)
+			team.Close()
+			if d := num.MaxAbsDiff(out, want); d != 0 {
+				t.Errorf("%s threads=%d: diff %v", st, threads, d)
+			}
+		}
+	}
+}
+
 // TestBackpropIsAdjointOfForward checks the defining property of
 // reverse-mode differentiation: <W u, v> == <u, Wᵀ v> for the linear
 // stencil operator W.

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"time"
+
+	"spray/internal/memtrack"
+	"spray/internal/num"
+	"spray/internal/par"
+	"spray/internal/scatter"
+	"spray/internal/telemetry"
+)
+
+// Binned wraps any reducer with the software write-combining engine
+// (internal/scatter): each thread's Scatter batches are staged into
+// per-destination-block bins, duplicate indices are coalesced, and whole
+// bins are flushed at once through the strategy's BinFlusher fast path
+// (or its plain Scatter when the strategy has none). Contiguous AddN runs
+// and element-wise Adds bypass the engine — they already have perfect
+// locality and cannot contain the duplicates binning exists to merge.
+//
+// The wrapper pays off when the scatter stream is duplicate-heavy or
+// revisits blocks while they are still binned: the atomic strategy then
+// issues one CAS per distinct location per flush instead of per arrival,
+// the block strategies resolve the block view once per flush, and the
+// keeper classifies a whole bin against one ownership range. A stream of
+// unique, near-sorted indices gains nothing and pays the staging copy —
+// see the DESIGN notes on when binning loses.
+//
+// Engine storage is pooled per thread and retained across regions
+// (capacity-retention rule); it is charged to Bytes/PeakBytes on top of
+// the inner strategy's accounting.
+type Binned[T num.Float] struct {
+	inner Reducer[T]
+	n     int
+	cfg   scatter.Config
+	privs []binnedPrivate[T]
+	// drainer is the inner reducer's mid-region drain hook, when it has
+	// one; midDrain mirrors its enablement so DrainMid can no-op fast.
+	drainer  MidRegionDrainer
+	midDrain bool
+	mem      memtrack.Counter
+	tel      *telemetry.Recorder
+}
+
+// NewBinned wraps inner, which must reduce into out, with a per-thread
+// write-combining engine. A zero cfg selects the engine defaults, except
+// that the bin block size aligns with the inner strategy's own block size
+// (Block, Adaptive) when it exposes one — so a flushed bin never
+// straddles a strategy block.
+func NewBinned[T num.Float](inner Reducer[T], out []T, cfg scatter.Config) *Binned[T] {
+	validate(out, inner.Threads())
+	validateIndex32(len(out))
+	if cfg.BlockSize == 0 {
+		if bs, ok := inner.(interface{ BlockSize() int }); ok {
+			if s := bs.BlockSize(); s > 0 && s&(s-1) == 0 {
+				cfg.BlockSize = s
+			}
+		}
+	}
+	b := &Binned[T]{
+		inner: inner,
+		n:     len(out),
+		cfg:   cfg,
+		privs: make([]binnedPrivate[T], inner.Threads()),
+	}
+	b.drainer, _ = inner.(MidRegionDrainer)
+	return b
+}
+
+type binnedPrivate[T num.Float] struct {
+	inner BulkPrivate[T]
+	sink  BinFlusher[T] // nil: flush through inner.Scatter
+	eng   *scatter.Binner[T]
+	tel   *telemetry.Shard
+}
+
+// Add bypasses the engine: a single element gains nothing from staging.
+func (p *binnedPrivate[T]) Add(i int, v T) { p.inner.Add(i, v) }
+
+// AddN bypasses the engine: a contiguous run has no duplicate indices and
+// already walks the destination in order.
+func (p *binnedPrivate[T]) AddN(base int, vals []T) { p.inner.AddN(base, vals) }
+
+// Scatter stages the batch into the write-combining bins; the engine
+// flushes full bins through flushBin as it goes.
+func (p *binnedPrivate[T]) Scatter(idx []int32, vals []T) {
+	p.tel.IncRun(telemetry.ScatterRuns, len(idx))
+	p.eng.Scatter(idx, vals)
+}
+
+// flushBin is the engine's sink: count the flush, sample its latency
+// 1-in-N, and hand the bin to the strategy. The strategy's own counters
+// (CAS retries, block claims, keeper owned/foreign) fire inside.
+func (p *binnedPrivate[T]) flushBin(base, end int, idx []int32, vals []T) {
+	if p.tel == nil {
+		p.dispatch(base, end, idx, vals)
+		return
+	}
+	p.tel.Inc(telemetry.BinFlushes)
+	if p.tel.Sample(telemetry.FlushLatency) {
+		start := time.Now()
+		p.dispatch(base, end, idx, vals)
+		p.tel.Observe(telemetry.FlushLatency, time.Since(start))
+		return
+	}
+	p.dispatch(base, end, idx, vals)
+}
+
+func (p *binnedPrivate[T]) dispatch(base, end int, idx []int32, vals []T) {
+	if p.sink != nil {
+		p.sink.FlushBin(base, end, idx, vals)
+		return
+	}
+	p.inner.Scatter(idx, vals)
+}
+
+// Done flushes the remaining bins, banks the coalescing count, and
+// forwards to the inner accessor.
+func (p *binnedPrivate[T]) Done() {
+	p.eng.Flush()
+	p.tel.Add(telemetry.ScatterCoalesced, int(p.eng.TakeCoalesced()))
+	p.inner.Done()
+}
+
+// Private returns the binned accessor for tid, wrapping the inner
+// strategy's accessor. The engine (and its pooled bin storage) persists
+// across regions; only the inner accessor and telemetry shard refresh.
+func (b *Binned[T]) Private(tid int) Private[T] {
+	p := &b.privs[tid]
+	ip := AsBulk(b.inner.Private(tid))
+	p.inner = ip
+	p.sink, _ = ip.(BinFlusher[T])
+	p.tel = b.tel.Shard(tid)
+	if p.eng == nil {
+		cfg := b.cfg
+		cfg.OnAlloc = func(n int64) { b.mem.Alloc(n) }
+		p.eng = scatter.New(p.flushBin, b.n, cfg)
+	}
+	return p
+}
+
+// EnableMidDrain forwards to the inner reducer's drain machinery when it
+// has one; a binned wrapper over a drain-less strategy stays a no-op.
+func (b *Binned[T]) EnableMidDrain(on bool) {
+	if b.drainer == nil {
+		return
+	}
+	b.drainer.EnableMidDrain(on)
+	b.midDrain = on
+}
+
+// DrainMid flushes tid's staged bins (so its recent foreign traffic
+// reaches the inner queues and mailboxes) and then runs the inner drain.
+// Must run on tid's goroutine, like the engine itself.
+func (b *Binned[T]) DrainMid(tid int) {
+	if !b.midDrain {
+		return
+	}
+	if p := &b.privs[tid]; p.eng != nil {
+		p.eng.Flush()
+	}
+	b.drainer.DrainMid(tid)
+}
+
+// Finalize forwards to the inner strategy (accessors have flushed their
+// engines in Done, per the region contract).
+func (b *Binned[T]) Finalize() { b.inner.Finalize() }
+
+// FinalizeWith forwards to the inner strategy.
+func (b *Binned[T]) FinalizeWith(t *par.Team) { b.inner.FinalizeWith(t) }
+
+// Instrument attaches (nil: detaches) the recorder to the wrapper and the
+// inner reducer: both draw shards from the same recorder, so the region
+// report shows staging counters (scatter-runs, bin-flushes,
+// scatter-coalesced, flush-latency) next to the strategy's own.
+func (b *Binned[T]) Instrument(rec *telemetry.Recorder) {
+	b.tel = rec
+	if in, ok := b.inner.(Instrumentable); ok {
+		in.Instrument(rec)
+	}
+}
+
+// Bytes reports the inner strategy's memory plus the retained engine
+// footprint (bins tables, slot tables, entry arrays).
+func (b *Binned[T]) Bytes() int64     { return b.inner.Bytes() + b.mem.Bytes() }
+func (b *Binned[T]) PeakBytes() int64 { return b.inner.PeakBytes() + b.mem.Peak() }
+func (b *Binned[T]) Name() string     { return "binned+" + b.inner.Name() }
+func (b *Binned[T]) Threads() int     { return b.inner.Threads() }
+
+// Inner exposes the wrapped reducer (observability for tests and the
+// experiment harness).
+func (b *Binned[T]) Inner() Reducer[T] { return b.inner }

@@ -1,0 +1,484 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spray/internal/num"
+	"spray/internal/par"
+	"spray/internal/scatter"
+	"spray/internal/telemetry"
+)
+
+// TestBinnedMatchesElementwise proves the write-combining wrapper's
+// equivalence for every strategy: a binned mixed AddN/Scatter stream
+// produces exactly the result of the element-wise Add stream through the
+// bare strategy, at several team sizes. Integer values make float
+// addition exact, so coalescing (the one reassociation binning performs)
+// cannot change any bit.
+func TestBinnedMatchesElementwise(t *testing.T) {
+	const n, iters = 1200, 300
+	ops := genBulkOps(43, iters, n)
+	for name, mk := range strategies(n) {
+		for _, threads := range []int{1, 3, 8} {
+			outEach := make([]float64, n)
+			outBinned := make([]float64, n)
+
+			team := par.NewTeam(threads)
+			runBulkReduction(t, team, mk(outEach, threads), iters, ops, false)
+			team.Close()
+
+			team = par.NewTeam(threads)
+			br := NewBinned(mk(outBinned, threads), outBinned,
+				scatter.Config{BlockSize: 64, BinCap: 16, MaxLive: 4})
+			runBulkReduction(t, team, br, iters, ops, true)
+			team.Close()
+
+			if d := num.MaxAbsDiff(outEach, outBinned); d != 0 {
+				t.Errorf("binned+%s threads=%d: diff %v", name, threads, d)
+			}
+		}
+	}
+}
+
+// binnedCfgFor mirrors NewBinned's block-size alignment so a reference
+// engine sees exactly the geometry the wrapper would use.
+func binnedCfgFor(r Reducer[float64]) scatter.Config {
+	cfg := scatter.Config{}
+	if bs, ok := r.(interface{ BlockSize() int }); ok {
+		if s := bs.BlockSize(); s > 0 && s&(s-1) == 0 {
+			cfg.BlockSize = s
+		}
+	}
+	return cfg
+}
+
+// TestBinnedBitwiseSingleThread pins down the wrapper's precise
+// floating-point semantics for every strategy, including the compensated
+// reducer's Kahan ordering: on one thread, the binned reducer must be
+// bitwise identical to driving a bare engine of the same geometry whose
+// flush sink applies entries element-wise through the strategy's Add.
+// That makes the strategies' FlushBin fast paths (and the Scatter
+// fallback) bitwise equivalent to the element-wise loop over the
+// engine's emitted stream — the exact contract BinFlusher documents.
+func TestBinnedBitwiseSingleThread(t *testing.T) {
+	const n, iters = 600, 150
+	rng := rand.New(rand.NewSource(11))
+	ops := genBulkOps(11, iters, n)
+	for oi := range ops {
+		for j := range ops[oi].Vals {
+			ops[oi].Vals[j] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(13)-6))
+		}
+	}
+	for name, mk := range strategies(n) {
+		outA := make([]float64, n)
+		outB := make([]float64, n)
+
+		// A: the real wrapper.
+		team := par.NewTeam(1)
+		runBulkReduction(t, team, NewBinned(mk(outA, 1), outA, scatter.Config{}), iters, ops, true)
+		team.Close()
+
+		// B: reference — same engine geometry, flush sink = element-wise
+		// Add into the bare strategy; AddN bypasses like the wrapper does.
+		r := mk(outB, 1)
+		acc := r.Private(0)
+		bacc := AsBulk(acc)
+		eng := scatter.New(func(base, end int, idx []int32, vals []float64) {
+			for j, i := range idx {
+				acc.Add(int(i), vals[j])
+			}
+		}, n, binnedCfgFor(r))
+		for _, op := range ops {
+			if op.Idx == nil {
+				bacc.AddN(op.Base, op.Vals)
+			} else {
+				eng.Scatter(op.Idx, op.Vals)
+			}
+		}
+		eng.Flush()
+		acc.Done()
+		r.Finalize()
+
+		for i := range outA {
+			if math.Float64bits(outA[i]) != math.Float64bits(outB[i]) {
+				t.Errorf("binned+%s: out[%d] wrapper=%x reference=%x", name,
+					i, math.Float64bits(outA[i]), math.Float64bits(outB[i]))
+				break
+			}
+		}
+	}
+}
+
+// FuzzBinnedStrategies drives fuzzer-invented index streams (duplicate
+// runs, out-of-order jumps, block-boundary crossings) through binned
+// wrappers over the strategies with FlushBin fast paths and cross-checks
+// against the sequential reference with exact values.
+func FuzzBinnedStrategies(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 1, 0, 255, 63, 64, 65, 64, 63})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7, 200, 200})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		const n = 256
+		idx := make([]int32, len(raw))
+		vals := make([]float64, len(raw))
+		want := make([]float64, n)
+		for p, by := range raw {
+			idx[p] = int32(by)
+			vals[p] = float64(p%7 - 3)
+			want[by] += vals[p]
+		}
+		mks := map[string]func(o []float64) Reducer[float64]{
+			"atomic":       func(o []float64) Reducer[float64] { return NewAtomic(o, 1) },
+			"block-cas-64": func(o []float64) Reducer[float64] { return NewBlock(o, 1, 64, BlockCAS) },
+			"keeper":       func(o []float64) Reducer[float64] { return NewKeeper(o, 1) },
+			"auto-64":      func(o []float64) Reducer[float64] { return NewAdaptive(o, 1, 64) },
+		}
+		for name, mk := range mks {
+			out := make([]float64, n)
+			br := NewBinned(mk(out), out, scatter.Config{BlockSize: 32, BinCap: 8, MaxLive: 2})
+			acc := AsBulk(br.Private(0))
+			acc.Scatter(idx, vals)
+			acc.Done()
+			br.Finalize()
+			for i := range out {
+				if out[i] != want[i] {
+					t.Fatalf("binned+%s: out[%d] = %v, want %v", name, i, out[i], want[i])
+				}
+			}
+		}
+	})
+}
+
+// keeperForeignStream builds a scatter batch entirely inside owner 1's
+// range of a 2-thread keeper over [0, 2*chunk).
+func keeperForeignStream(chunk, m int, seed int64) ([]int32, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	idx := make([]int32, m)
+	vals := make([]float64, m)
+	for j := range idx {
+		idx[j] = int32(chunk + rng.Intn(chunk))
+		vals[j] = float64(rng.Intn(9) - 4)
+	}
+	return idx, vals
+}
+
+// TestKeeperMailboxPublishAndDrain exercises the full mid-region path
+// sequentially: publication at the queue threshold, the owner's mailbox
+// drain between chunks, the finalize sweep of late parcels, and parcel
+// recycling — with result correctness and exact capacity retention
+// across regions.
+func TestKeeperMailboxPublishAndDrain(t *testing.T) {
+	const threads, chunk = 2, 4096
+	const n = threads * chunk
+	out := make([]float64, n)
+	k := NewKeeper(out, threads)
+	k.EnableMidDrain(true)
+
+	idx, vals := keeperForeignStream(chunk, 3*keeperMailboxFlush, 5)
+	want := make([]float64, n)
+	for j, i := range idx {
+		want[i] += vals[j]
+	}
+
+	region := func() {
+		a0 := AsBulk(k.Private(0))
+		a1 := AsBulk(k.Private(1))
+		half := len(idx) / 2
+		a0.Scatter(idx[:half], vals[:half]) // publishes at least one parcel
+		k.DrainMid(1)                       // owner applies inbound parcels mid-region
+		a0.Scatter(idx[half:], vals[half:])
+		a0.Done()
+		a1.Done()
+		k.Finalize() // sweeps parcels published after the drain
+	}
+
+	region()
+	if d := num.MaxAbsDiff(out, want); d != 0 {
+		t.Fatalf("mid-drain region diverged: max diff %v", d)
+	}
+	if k.Bytes() == 0 {
+		t.Fatal("Bytes = 0 after publishing parcels; parcel capacity is not accounted")
+	}
+
+	// Regression (capacity-retention rule): parcels recycled through the
+	// returns stacks must keep the second region's footprint exactly flat.
+	bytes1, peak1 := k.Bytes(), k.PeakBytes()
+	clear(out)
+	region()
+	if k.Bytes() != bytes1 || k.PeakBytes() != peak1 {
+		t.Errorf("steady-state region grew keeper memory: bytes %d -> %d, peak %d -> %d",
+			bytes1, k.Bytes(), peak1, k.PeakBytes())
+	}
+	if d := num.MaxAbsDiff(out, want); d != 0 {
+		t.Fatalf("second region diverged: max diff %v", d)
+	}
+}
+
+// TestKeeperMidDrainCutsPeakQueueBytes is the headline memory claim: with
+// mid-region drains, peak queue+parcel memory is bounded by the
+// publication threshold instead of the region's total foreign traffic.
+func TestKeeperMidDrainCutsPeakQueueBytes(t *testing.T) {
+	const threads, chunk = 2, 4096
+	const n = threads * chunk
+	const m = 16 * keeperMailboxFlush
+	idx, vals := keeperForeignStream(chunk, m, 6)
+
+	run := func(mid bool) int64 {
+		out := make([]float64, n)
+		k := NewKeeper(out, threads)
+		k.EnableMidDrain(mid)
+		a0 := AsBulk(k.Private(0))
+		a1 := AsBulk(k.Private(1))
+		const batch = 512
+		for j := 0; j < m; j += batch {
+			a0.Scatter(idx[j:j+batch], vals[j:j+batch])
+			if mid && j%(4*batch) == 0 {
+				k.DrainMid(1) // owner keeps up, parcels recycle
+			}
+		}
+		a0.Done()
+		a1.Done()
+		k.Finalize()
+		return k.PeakBytes()
+	}
+
+	peakOff, peakOn := run(false), run(true)
+	if peakOn >= peakOff {
+		t.Errorf("mid-region drain did not cut peak bytes: on=%d off=%d", peakOn, peakOff)
+	}
+	// The drained peak must be bounded by a few parcels plus the capped
+	// queue, not by the full 16x-threshold foreign stream.
+	if limit := int64(8 * keeperMailboxFlush * 12); peakOn > limit {
+		t.Errorf("drained peak %d exceeds threshold-bound %d", peakOn, limit)
+	}
+}
+
+// TestKeeperMidDrainTelemetry checks the new counters and the dwell
+// collapse: mid-region drains must produce keeper-midregion-drains
+// events and dwell samples far below the no-drain dwell (which spans the
+// whole region).
+func TestKeeperMidDrainTelemetry(t *testing.T) {
+	const threads, chunk = 2, 4096
+	const n = threads * chunk
+	idx, vals := keeperForeignStream(chunk, 2*keeperMailboxFlush, 7)
+
+	out := make([]float64, n)
+	k := NewKeeper(out, threads)
+	rec := telemetry.NewRecorder(k.Name(), threads)
+	k.Instrument(rec)
+	k.EnableMidDrain(true)
+
+	a0 := AsBulk(k.Private(0))
+	a1 := AsBulk(k.Private(1))
+	a0.Scatter(idx, vals)
+	k.DrainMid(1)
+	a0.Done()
+	a1.Done()
+	k.Finalize()
+
+	snap := rec.Snapshot()
+	if got := snap.Get(telemetry.KeeperMidDrains); got == 0 {
+		t.Error("keeper-midregion-drains = 0 after a mid-region drain")
+	}
+	if got := snap.Get(telemetry.KeeperDrained); got != uint64(len(idx)) {
+		t.Errorf("keeper-drained = %d, want %d", got, len(idx))
+	}
+	if h := rec.Hist(telemetry.KeeperDwell); h.Count == 0 {
+		t.Error("keeper-dwell histogram empty; parcels should carry dwell stamps")
+	}
+	// An idle DrainMid must not bump the counter.
+	before := rec.Snapshot().Get(telemetry.KeeperMidDrains)
+	k.DrainMid(1)
+	if got := rec.Snapshot().Get(telemetry.KeeperMidDrains); got != before {
+		t.Errorf("empty DrainMid bumped the counter: %d -> %d", before, got)
+	}
+}
+
+// TestConcurrentMailboxDrain drives the publish/drain protocol with a
+// real team under the dynamic schedule so producers publish while owners
+// drain concurrently — the race-detector coverage for the lock-free
+// mailbox and returns stacks (run under -race via make race-telemetry).
+func TestConcurrentMailboxDrain(t *testing.T) {
+	const threads = 4
+	const n = 1 << 14
+	const iters = 64
+	rng := rand.New(rand.NewSource(8))
+	batches := make([][]int32, iters)
+	bvals := make([][]float64, iters)
+	want := make([]float64, n)
+	for it := range batches {
+		m := 256 + rng.Intn(512)
+		idx := make([]int32, m)
+		vals := make([]float64, m)
+		for j := range idx {
+			idx[j] = int32(rng.Intn(n))
+			vals[j] = float64(rng.Intn(9) - 4)
+			want[idx[j]] += vals[j]
+		}
+		batches[it], bvals[it] = idx, vals
+	}
+
+	for rep := 0; rep < 3; rep++ {
+		out := make([]float64, n)
+		k := NewKeeper(out, threads)
+		rec := telemetry.NewRecorder(k.Name(), threads)
+		k.Instrument(rec)
+		k.EnableMidDrain(true)
+
+		team := par.NewTeam(threads)
+		c := par.NewChunker(par.Dynamic(1), 0, iters, threads)
+		c.SetChunkDone(k.DrainMid)
+		team.Run(func(tid int) {
+			acc := k.Private(tid)
+			bacc := AsBulk(acc)
+			c.For(tid, func(from, to int) {
+				for it := from; it < to; it++ {
+					bacc.Scatter(batches[it], bvals[it])
+				}
+			})
+			acc.Done()
+		})
+		k.FinalizeWith(team)
+		team.Close()
+
+		if d := num.MaxAbsDiff(out, want); d != 0 {
+			t.Fatalf("rep %d: concurrent mailbox run diverged: max diff %v", rep, d)
+		}
+	}
+}
+
+// TestBinnedTelemetryCounters checks the wrapper's new counters: bin
+// flushes fire per drained bin, coalesced duplicates are banked at Done,
+// and the flush-latency histogram collects samples.
+func TestBinnedTelemetryCounters(t *testing.T) {
+	const n = 1 << 12
+	out := make([]float64, n)
+	br := NewBinned(NewAtomic(out, 1), out, scatter.Config{BlockSize: 64, BinCap: 16, MaxLive: 4})
+	rec := telemetry.NewRecorder(br.Name(), 1)
+	br.Instrument(rec)
+
+	acc := AsBulk(br.Private(0))
+	idx := make([]int32, 4096)
+	vals := make([]float64, 4096)
+	want := make([]float64, n)
+	for j := range idx {
+		idx[j] = int32((j % 32) + 64*(j%4)) // heavy duplication, 4 blocks
+		vals[j] = 1
+		want[idx[j]]++
+	}
+	acc.Scatter(idx, vals)
+	acc.Done()
+	br.Finalize()
+
+	snap := rec.Snapshot()
+	if got := snap.Get(telemetry.BinFlushes); got == 0 {
+		t.Error("bin-flushes = 0 after binned scatter")
+	}
+	if got := snap.Get(telemetry.ScatterCoalesced); got == 0 {
+		t.Error("scatter-coalesced = 0 on a duplicate-heavy stream")
+	}
+	if got := snap.Get(telemetry.ScatterRuns); got != 1 {
+		t.Errorf("scatter-runs = %d, want 1 (one staged batch)", got)
+	}
+	if got := snap.Get(telemetry.BulkElems); got != uint64(len(idx)) {
+		t.Errorf("bulk-elems = %d, want %d", got, len(idx))
+	}
+	if h := rec.Hist(telemetry.FlushLatency); h.Count == 0 {
+		t.Error("flush-latency histogram empty")
+	}
+	for i := range out {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+// TestBinnedBytesIncludesEngine checks that the wrapper charges the
+// pooled engine footprint on top of the inner strategy's accounting and
+// keeps it flat across regions (capacity-retention rule).
+func TestBinnedBytesIncludesEngine(t *testing.T) {
+	const n = 1 << 12
+	out := make([]float64, n)
+	br := NewBinned(NewAtomic(out, 1), out, scatter.Config{})
+	if br.Bytes() != 0 {
+		t.Fatalf("Bytes = %d before any region", br.Bytes())
+	}
+	idx := make([]int32, 512)
+	vals := make([]float64, 512)
+	for j := range idx {
+		idx[j] = int32((j * 37) % n)
+		vals[j] = 1
+	}
+	region := func() {
+		acc := AsBulk(br.Private(0))
+		acc.Scatter(idx, vals)
+		acc.Done()
+		br.Finalize()
+	}
+	region()
+	if br.Bytes() == 0 {
+		t.Fatal("Bytes = 0 after binned scatter; engine footprint is not accounted")
+	}
+	b1, p1 := br.Bytes(), br.PeakBytes()
+	region()
+	if br.Bytes() != b1 || br.PeakBytes() != p1 {
+		t.Errorf("engine footprint grew on steady-state region: bytes %d -> %d, peak %d -> %d",
+			b1, br.Bytes(), p1, br.PeakBytes())
+	}
+}
+
+// TestBinnedKeeperMidDrainEndToEnd runs the full stack — binned wrapper
+// over the keeper with the chunk-boundary hook — the way RunReduction
+// wires it, and checks correctness plus mid-drain activity.
+func TestBinnedKeeperMidDrainEndToEnd(t *testing.T) {
+	const threads = 4
+	const n = 1 << 14
+	const iters = 48
+	rng := rand.New(rand.NewSource(12))
+	batches := make([][]int32, iters)
+	bvals := make([][]float64, iters)
+	want := make([]float64, n)
+	for it := range batches {
+		m := 1024
+		idx := make([]int32, m)
+		vals := make([]float64, m)
+		for j := range idx {
+			idx[j] = int32(rng.Intn(n))
+			vals[j] = float64(rng.Intn(9) - 4)
+			want[idx[j]] += vals[j]
+		}
+		batches[it], bvals[it] = idx, vals
+	}
+
+	out := make([]float64, n)
+	br := NewBinned(NewKeeper(out, threads), out, scatter.Config{})
+	rec := telemetry.NewRecorder(br.Name(), threads)
+	br.Instrument(rec)
+
+	var d MidRegionDrainer = br
+	d.EnableMidDrain(true)
+	team := par.NewTeam(threads)
+	c := par.NewChunker(par.StaticChunk(2), 0, iters, threads)
+	c.SetChunkDone(d.DrainMid)
+	team.Run(func(tid int) {
+		acc := br.Private(tid)
+		bacc := AsBulk(acc)
+		c.For(tid, func(from, to int) {
+			for it := from; it < to; it++ {
+				bacc.Scatter(batches[it], bvals[it])
+			}
+		})
+		acc.Done()
+	})
+	br.FinalizeWith(team)
+	team.Close()
+
+	if d := num.MaxAbsDiff(out, want); d != 0 {
+		t.Fatalf("binned keeper mid-drain run diverged: max diff %v", d)
+	}
+	if got := rec.Snapshot().Get(telemetry.BinFlushes); got == 0 {
+		t.Error("bin-flushes = 0 in the end-to-end run")
+	}
+}

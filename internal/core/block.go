@@ -249,6 +249,28 @@ func (p *blockPrivate[T]) resolve(b int) []T {
 	return view
 }
 
+// FlushBin applies one write-combined bin. With the bin block aligned to
+// the strategy block (BinBlockSize), the whole bin lands in one block:
+// the view is resolved exactly once — one claim or one fallback lookup
+// per flush instead of a nil-check per element. Misaligned bins degrade
+// gracefully to the Scatter-style per-run resolution.
+func (p *blockPrivate[T]) FlushBin(base, end int, idx []int32, vals []T) {
+	mask, shift := p.parent.mask, p.parent.shift
+	lastB := -1
+	var view []T
+	for j, i := range idx {
+		b := int(i) >> shift
+		if b != lastB {
+			view = p.view[b]
+			if view == nil {
+				view = p.acquire(b)
+			}
+			lastB = b
+		}
+		view[int(i)&mask] += vals[j]
+	}
+}
+
 func (p *blockPrivate[T]) Done() {}
 
 // Private allocates the thread's block-pointer table — the only init-time

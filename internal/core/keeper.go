@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"time"
 	"unsafe"
 
@@ -9,6 +10,37 @@ import (
 	"spray/internal/par"
 	"spray/internal/telemetry"
 )
+
+// keeperMailboxFlush is the foreign-queue length at which a thread stops
+// letting the queue grow and publishes its contents to the owner's
+// mailbox instead. 1024 entries (12 KiB of float64 requests) is large
+// enough to amortize the publish CAS and the owner's drain dispatch, and
+// small enough that peak queue memory stays bounded by
+// threads² × keeperMailboxFlush entries instead of the full region's
+// foreign traffic.
+const keeperMailboxFlush = 1024
+
+// parcel is one published batch of foreign update requests: a
+// singly-linked node in both the owner's inbound mailbox and the
+// producer's recycling stack. The producer stamps `at` with the oldest
+// pending dwell timestamp so the drain can turn it into a keeper-dwell
+// sample, and `from` with its tid so the consumed parcel finds its way
+// back to the producer's pool.
+type parcel[T num.Float] struct {
+	next *parcel[T]
+	from int32
+	at   time.Time
+	idx  []int32
+	vals []T
+}
+
+// mailbox is one owner's inbound parcel stack: a Treiber push (producers,
+// any thread) against a Swap(nil) take-all (the owner). Padded so two
+// owners' heads never share a cache line.
+type mailbox[T num.Float] struct {
+	head atomic.Pointer[parcel[T]]
+	_    [56]byte
+}
 
 // Keeper is the SPRAY KeeperReduction: ownership of the reduction
 // locations is distributed statically across threads in contiguous ranges.
@@ -30,8 +62,13 @@ type Keeper[T num.Float] struct {
 	threads int
 	chunk   int // ceil(len(out)/threads); owner(i) = i/chunk
 	privs   []keeperPrivate[T]
-	mem     memtrack.Counter
-	tel     *telemetry.Recorder
+	mail    []mailbox[T] // per owner: inbound parcels for the mid-region drain
+	// midDrain gates mailbox publication. The run harness sets it (between
+	// regions) when it wires DrainMid to the chunk-boundary hook; with it
+	// off, foreign queues grow until Finalize exactly as before.
+	midDrain bool
+	mem      memtrack.Counter
+	tel      *telemetry.Recorder
 }
 
 // Instrument attaches (nil: detaches) the telemetry recorder. Instrumented
@@ -53,6 +90,7 @@ func NewKeeper[T num.Float](out []T, threads int) *Keeper[T] {
 		chunk = 1
 	}
 	k := &Keeper[T]{out: out, threads: threads, chunk: chunk}
+	k.mail = make([]mailbox[T], threads)
 	k.privs = make([]keeperPrivate[T], threads)
 	for t := range k.privs {
 		k.privs[t] = keeperPrivate[T]{
@@ -86,6 +124,11 @@ type keeperPrivate[T num.Float] struct {
 	// keeper-dwell samples. Allocated only while instrumented, so the
 	// uninstrumented foreign path pays one nil check.
 	dwellAt []time.Time
+	// returns receives parcels the owners have finished applying (Treiber
+	// push by any consumer); free is the local pool they drain into. All
+	// parcel capacity is retained and stays charged to the parent counter.
+	returns atomic.Pointer[parcel[T]]
+	free    []*parcel[T]
 }
 
 // stampDwell records the enqueue time of the first foreign request to
@@ -116,6 +159,7 @@ func (p *keeperPrivate[T]) Add(i int, v T) {
 		p.grew(cap(qi)-ci, cap(qv)-cv)
 	}
 	p.qIdx[o], p.qVal[o] = qi, qv
+	p.maybePublish(o)
 }
 
 // AddN splits a contiguous run at the static ownership boundaries: the
@@ -148,6 +192,7 @@ func (p *keeperPrivate[T]) AddN(base int, vals []T) {
 				p.grew(cap(qi)-ci, cap(qv)-cv)
 			}
 			p.qIdx[o], p.qVal[o] = qi, qv
+			p.maybePublish(o)
 		}
 		base += n
 		vals = vals[n:]
@@ -159,6 +204,12 @@ func (p *keeperPrivate[T]) AddN(base int, vals []T) {
 // range) or appended to the owner's queue as whole sub-slices.
 func (p *keeperPrivate[T]) Scatter(idx []int32, vals []T) {
 	p.tel.IncRun(telemetry.ScatterRuns, len(idx))
+	p.scatterOwners(idx, vals)
+}
+
+// scatterOwners is the owner-partitioning core of Scatter, shared with
+// the straddling-bin fallback of FlushBin.
+func (p *keeperPrivate[T]) scatterOwners(idx []int32, vals []T) {
 	chunk, tid := p.chunk, p.tid
 	for j := 0; j < len(idx); {
 		o := int(idx[j]) / chunk
@@ -174,18 +225,114 @@ func (p *keeperPrivate[T]) Scatter(idx []int32, vals []T) {
 			}
 		} else {
 			p.tel.Add(telemetry.KeeperForeign, k-j)
-			p.stampDwell(o)
-			qi, qv := p.qIdx[o], p.qVal[o]
-			ci, cv := cap(qi), cap(qv)
-			qi = append(qi, idx[j:k]...)
-			qv = append(qv, vals[j:k]...)
-			if cap(qi) != ci || cap(qv) != cv {
-				p.grew(cap(qi)-ci, cap(qv)-cv)
-			}
-			p.qIdx[o], p.qVal[o] = qi, qv
+			p.enqueue(o, idx[j:k], vals[j:k])
 		}
 		j = k
 	}
+}
+
+// FlushBin applies one write-combined bin. The bin's destination block
+// lies inside a single ownership range whenever the block is not larger
+// than the ownership chunk and does not straddle a chunk boundary — then
+// the whole bin classifies with one division: a direct plain loop when
+// this thread owns the block, one bulk enqueue to the owner otherwise.
+// Straddling bins fall back to the owner-partitioning scatter core.
+func (p *keeperPrivate[T]) FlushBin(base, end int, idx []int32, vals []T) {
+	if o := base / p.chunk; o == (end-1)/p.chunk {
+		if o == p.tid {
+			p.tel.Add(telemetry.KeeperOwned, len(idx))
+			out := p.out
+			for j, i := range idx {
+				out[i] += vals[j]
+			}
+		} else {
+			p.tel.Add(telemetry.KeeperForeign, len(idx))
+			p.enqueue(o, idx, vals)
+		}
+		return
+	}
+	p.scatterOwners(idx, vals)
+}
+
+// enqueue appends a foreign batch to owner o's queue (the slices are
+// copied; callers may reuse them) and publishes the queue to the owner's
+// mailbox once it passes the publication threshold.
+func (p *keeperPrivate[T]) enqueue(o int, idx []int32, vals []T) {
+	p.stampDwell(o)
+	qi, qv := p.qIdx[o], p.qVal[o]
+	ci, cv := cap(qi), cap(qv)
+	qi = append(qi, idx...)
+	qv = append(qv, vals...)
+	if cap(qi) != ci || cap(qv) != cv {
+		p.grew(cap(qi)-ci, cap(qv)-cv)
+	}
+	p.qIdx[o], p.qVal[o] = qi, qv
+	p.maybePublish(o)
+}
+
+// maybePublish moves owner o's queue contents into a mailbox parcel when
+// mid-region draining is enabled and the queue has reached the
+// publication threshold.
+func (p *keeperPrivate[T]) maybePublish(o int) {
+	if p.parent.midDrain && len(p.qIdx[o]) >= keeperMailboxFlush {
+		p.publish(o)
+	}
+}
+
+// publish copies owner o's pending requests into a recycled (or fresh)
+// parcel, pushes it onto o's mailbox, and truncates the queue in place —
+// queue capacity is untouched, so the Done reconciliation stays exact.
+// Parcel capacity is charged to the parent counter when it grows and is
+// retained forever through the returns/free recycling loop (the same
+// capacity-retention rule the queues follow). The pending dwell stamp,
+// if any, travels with the parcel so the drain observes enqueue-to-apply
+// time; the next enqueue to o re-stamps.
+func (p *keeperPrivate[T]) publish(o int) {
+	par := p.takeParcel()
+	ci, cv := cap(par.idx), cap(par.vals)
+	par.idx = append(par.idx[:0], p.qIdx[o]...)
+	par.vals = append(par.vals[:0], p.qVal[o]...)
+	if cap(par.idx) != ci || cap(par.vals) != cv {
+		var zero T
+		p.parent.mem.Alloc(int64(cap(par.idx)-ci)*4 +
+			int64(cap(par.vals)-cv)*int64(unsafe.Sizeof(zero)))
+	}
+	par.from = int32(p.tid)
+	par.at = time.Time{}
+	if p.dwellAt != nil {
+		par.at = p.dwellAt[o]
+		p.dwellAt[o] = time.Time{}
+	}
+	p.qIdx[o] = p.qIdx[o][:0]
+	p.qVal[o] = p.qVal[o][:0]
+	mb := &p.parent.mail[o]
+	for {
+		old := mb.head.Load()
+		par.next = old
+		if mb.head.CompareAndSwap(old, par) {
+			return
+		}
+	}
+}
+
+// takeParcel returns an empty parcel: from the local pool, else from the
+// parcels owners have pushed back on the returns stack, else fresh.
+func (p *keeperPrivate[T]) takeParcel() *parcel[T] {
+	if n := len(p.free); n > 0 {
+		par := p.free[n-1]
+		p.free = p.free[:n-1]
+		return par
+	}
+	if head := p.returns.Swap(nil); head != nil {
+		for par := head; par != nil; par = par.next {
+			p.free = append(p.free, par)
+		}
+		n := len(p.free)
+		par := p.free[n-1]
+		p.free = p.free[:n-1]
+		return par
+	}
+	return &parcel[T]{}
 }
 
 // grew charges a queue capacity increase (in elements) to the parent
@@ -233,6 +380,62 @@ func (k *Keeper[T]) Private(tid int) Private[T] {
 	return p
 }
 
+// EnableMidDrain switches mid-region mailbox publication on or off (off
+// by default). The run harness enables it when it wires DrainMid to the
+// chunk-boundary hook; with it off, foreign queues simply grow until
+// Finalize. Must not be called while a region is running.
+func (k *Keeper[T]) EnableMidDrain(on bool) { k.midDrain = on }
+
+// DrainMid applies every parcel published to tid's mailbox. It must run
+// on tid's own goroutine (the chunker's chunk-boundary hook does): the
+// parcels target tid's ownership range, which only tid writes, so the
+// applies are single-writer and need no further synchronization.
+func (k *Keeper[T]) DrainMid(tid int) {
+	if n := k.drainMail(tid); n > 0 {
+		k.privs[tid].tel.Inc(telemetry.KeeperMidDrains)
+	}
+}
+
+// drainMail takes owner o's whole mailbox in one swap and applies each
+// parcel, pushing consumed parcels back to their producers' returns
+// stacks for reuse. Returns the number of requests applied. Parcels come
+// off the Treiber stack newest-first; application order of foreign
+// batches was never part of the keeper's determinism contract (producer
+// timing decides it), so no re-sort is paid here.
+func (k *Keeper[T]) drainMail(o int) int {
+	head := k.mail[o].head.Swap(nil)
+	if head == nil {
+		return 0
+	}
+	sh := k.tel.Shard(o)
+	out := k.out
+	drained := 0
+	for par := head; par != nil; {
+		next := par.next
+		if !par.at.IsZero() {
+			sh.Observe(telemetry.KeeperDwell, time.Since(par.at))
+			par.at = time.Time{}
+		}
+		for j, i := range par.idx {
+			out[i] += par.vals[j]
+		}
+		drained += len(par.idx)
+		par.idx = par.idx[:0]
+		par.vals = par.vals[:0]
+		ret := &k.privs[par.from].returns
+		for {
+			old := ret.Load()
+			par.next = old
+			if ret.CompareAndSwap(old, par) {
+				break
+			}
+		}
+		par = next
+	}
+	sh.Add(telemetry.KeeperDrained, drained)
+	return drained
+}
+
 // Finalize applies every queued update request serially. Queue capacity
 // is retained (and stays charged to Bytes) for the next region.
 func (k *Keeper[T]) Finalize() {
@@ -262,6 +465,7 @@ func (k *Keeper[T]) FinalizeWith(t *par.Team) {
 // by exactly one member in FinalizeWith, so the writes stay single-writer),
 // and dwell stamps from the region turn into keeper-dwell samples.
 func (k *Keeper[T]) applyOwner(o int) {
+	k.drainMail(o) // parcels published after the last mid-region drain
 	sh := k.tel.Shard(o)
 	for t := range k.privs {
 		p := &k.privs[t]

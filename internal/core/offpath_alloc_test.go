@@ -1,6 +1,10 @@
 package core
 
-import "testing"
+import (
+	"testing"
+
+	"spray/internal/scatter"
+)
 
 // TestOffPathSamplingGateNoAlloc guards the telemetry-off hot paths at
 // the allocator level: with no recorder attached, the sampling and
@@ -36,6 +40,45 @@ func TestOffPathSamplingGateNoAlloc(t *testing.T) {
 			acc.Add(7, 1)
 			acc.AddN(512, vals) // resolves its block in the warm-up run
 			acc.Scatter(idx, vals)
+		})
+	})
+
+	t.Run("binned-atomic", func(t *testing.T) {
+		// The write-combining wrapper: staging, bin-full emits, drains and
+		// the flush dispatch must all run on pooled storage after warm-up.
+		out := make([]float64, n)
+		br := NewBinned(NewAtomic(out, 1), out,
+			scatter.Config{BlockSize: 256, BinCap: 32, MaxLive: 4})
+		acc := AsBulk(br.Private(0))
+		spread := make([]int32, len(vals))
+		for j := range spread {
+			spread[j] = int32((j * 997) % n) // touches > MaxLive blocks
+		}
+		assertNoAllocs(t, func() {
+			acc.Scatter(idx, vals)
+			acc.Scatter(spread, vals)
+			acc.Done()
+		})
+	})
+
+	t.Run("keeper-mailbox", func(t *testing.T) {
+		// Publication threshold crossed every run, parcels recycled by the
+		// owner's mid-region drain: the whole mailbox loop must be
+		// allocation-free once the first parcels exist.
+		k := NewKeeper(make([]float64, 4*keeperMailboxFlush), 2)
+		k.EnableMidDrain(true)
+		acc := AsBulk(k.Private(0))
+		_ = k.Private(1)
+		m := keeperMailboxFlush + 64
+		foreign := make([]int32, m)
+		fvals := make([]float64, m)
+		for j := range foreign {
+			foreign[j] = int32(2*keeperMailboxFlush + j%keeperMailboxFlush)
+			fvals[j] = 1
+		}
+		assertNoAllocs(t, func() {
+			acc.Scatter(foreign, fvals) // crosses the threshold -> publish
+			k.DrainMid(1)               // apply + return the parcel
 		})
 	})
 

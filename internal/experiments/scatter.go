@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spray"
+	"spray/internal/bench"
+	"spray/internal/sparse"
+)
+
+// DefaultScatterConfig selects the strategies where write-combining has
+// something to combine into: atomic (one CAS pass per warm bin instead of
+// per element), block-cas (one claim per flushed bin), keeper (bulk
+// ownership runs plus the mid-region mailbox drain) and auto (exact
+// per-block hotness counts from whole-bin flushes).
+func DefaultScatterConfig(n, maxThreads int) BulkConfig {
+	return BulkConfig{
+		N:       n,
+		Threads: bench.ThreadCounts(maxThreads),
+		Strategies: []spray.Strategy{
+			spray.Atomic(),
+			spray.BlockCAS(1024),
+			spray.Keeper(),
+			spray.Auto(1024),
+		},
+		Runner: bench.DefaultRunner(),
+	}
+}
+
+// scatterPair measures one (strategy, threads) point twice — the plain
+// reducer and its spray.Binned wrapper over the same run body — and adds
+// both series points.
+func scatterPair(cfg BulkConfig, res *bench.Result, st spray.Strategy, th int, out []float32, run func(r spray.Reducer[float32], team *spray.Team)) {
+	for _, v := range []struct {
+		suffix string
+		st     spray.Strategy
+	}{
+		{"/unbinned", st},
+		{"/binned", spray.Binned(st)},
+	} {
+		team := spray.NewTeam(th)
+		if cfg.Trace != nil {
+			team.SetTracer(cfg.Trace.New(fmt.Sprintf("scatter/%s%s t=%d", st, v.suffix, th), th))
+		}
+		r := spray.New(v.st, out, th)
+		var in *spray.Instrumentation
+		if cfg.Telemetry {
+			in = spray.Instrument(team, r)
+		}
+		p := bulkPoint(cfg, in, th, st.String()+v.suffix, func(iters int) {
+			for i := 0; i < iters; i++ {
+				run(r, team)
+			}
+		})
+		p.Bytes = r.PeakBytes()
+		res.AddPoint(st.String()+v.suffix, p)
+		if in != nil {
+			in.Detach()
+		}
+		team.Close()
+	}
+}
+
+// ScatterConv compares the unbinned scatter path against the binned
+// write-combining path on the duplicate-heavy conv adjoint stream: each
+// tile emits interleaved (i-1, i, i+1) triples, so every output index
+// arrives three times per tile and the binned engine coalesces 3 -> 1
+// before touching the strategy.
+func ScatterConv(cfg BulkConfig) *bench.Result {
+	res := &bench.Result{
+		Title:    fmt.Sprintf("Write-combining scatter: conv interleaved-tap adjoint, unbinned vs binned (N=%d)", cfg.N),
+		XLabel:   "threads",
+		Baseline: ConvSequentialBaseline(ConvConfig{N: cfg.N, Runner: cfg.Runner}),
+		Notes: []string{
+			"<strategy>/unbinned: Scatter straight into the strategy; <strategy>/binned: staged through per-block bins with duplicate coalescing",
+			"stream has 3 contributions per output index per tile (taps of i-1, i, i+1)",
+		},
+	}
+	seed := convData(cfg.N)
+	out := make([]float32, cfg.N)
+	for _, st := range cfg.Strategies {
+		for _, th := range cfg.Threads {
+			scatterPair(cfg, res, st, th, out, func(r spray.Reducer[float32], team *spray.Team) {
+				convWeights.RunBackpropScatter(team, r, seed)
+			})
+		}
+	}
+	return res
+}
+
+// ScatterTMV runs the same comparison on the banded transpose-matrix-
+// vector product: consecutive rows scatter into overlapping column
+// windows, so bins are revisited across rows and cross-row duplicates
+// coalesce. The chunked schedule gives the keeper's mid-region drain
+// chunk boundaries to run at.
+func ScatterTMV(cfg BulkConfig) *bench.Result {
+	a := sparse.Banded[float32](cfg.N, cfg.N, 16, 96, 7)
+	res := &bench.Result{
+		Title:    fmt.Sprintf("Write-combining scatter: banded transpose-matrix-vector, unbinned vs binned (%dx%d, %d nnz)", a.Rows, a.Cols, a.NNZ()),
+		XLabel:   "threads",
+		Baseline: TMVSequentialBaseline(TMVConfig{Matrix: a, Runner: cfg.Runner}),
+		Notes: []string{
+			"<strategy>/unbinned: one Scatter per CSR row; <strategy>/binned: rows staged through per-block bins, duplicates across rows coalesced",
+			"StaticChunk(256) schedule: keeper applies inbound mailbox parcels at chunk boundaries",
+		},
+	}
+	x := vecOnes(a.Rows)
+	y := make([]float32, a.Cols)
+	sched := spray.StaticChunk(256)
+	for _, st := range cfg.Strategies {
+		for _, th := range cfg.Threads {
+			scatterPair(cfg, res, st, th, y, func(r spray.Reducer[float32], team *spray.Team) {
+				sparse.RunTMulVecSched(team, r, a, x, sched)
+			})
+		}
+	}
+	return res
+}

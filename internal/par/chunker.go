@@ -12,11 +12,12 @@ import (
 // iteration themselves from inside Team.Run. ParallelFor is implemented on
 // top of it. A Chunker is valid for a single loop execution.
 type Chunker struct {
-	s      Schedule
-	lo, hi int
-	n      int
-	tracer *telemetry.Tracer // nil = chunk spans off
-	next   atomic.Int64      // shared cursor for dynamic/guided
+	s         Schedule
+	lo, hi    int
+	n         int
+	tracer    *telemetry.Tracer // nil = chunk spans off
+	chunkDone func(tid int)     // nil = no chunk-boundary hook
+	next      atomic.Int64      // shared cursor for dynamic/guided
 }
 
 // NewChunker prepares chunk hand-out for the range [lo, hi) on a team of
@@ -33,6 +34,13 @@ func NewChunker(s Schedule, lo, hi, teamSize int) *Chunker {
 // timeline. Attach before the loop starts.
 func (c *Chunker) SetTracer(tr *telemetry.Tracer) { c.tracer = tr }
 
+// SetChunkDone attaches a chunk-boundary hook: after each chunk body
+// returns, fn(tid) runs on the member's own goroutine, before the next
+// chunk is requested. Reducers use it for cooperative mid-region work —
+// the keeper drains its inbound mailbox here — so the hook should be
+// cheap when there is nothing to do. Attach before the loop starts.
+func (c *Chunker) SetChunkDone(fn func(tid int)) { c.chunkDone = fn }
+
 // For invokes body for every chunk assigned to member tid, in hand-out
 // order. All members of the team must call For exactly once for dynamic
 // and guided schedules to distribute the full range.
@@ -46,6 +54,13 @@ func (c *Chunker) For(tid int, body func(from, to int)) {
 			tr.Begin(tid, telemetry.SpanChunk, int64(from), int64(to))
 			inner(from, to)
 			tr.End(tid, telemetry.SpanChunk)
+		}
+	}
+	if done := c.chunkDone; done != nil {
+		inner := body
+		body = func(from, to int) {
+			inner(from, to)
+			done(tid)
 		}
 	}
 	switch c.s.Kind {

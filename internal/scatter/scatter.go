@@ -1,0 +1,305 @@
+// Package scatter implements software write-combining for gathered batch
+// updates: a per-thread binning engine that stages (index, value) pairs
+// into cache-sized bins keyed by destination block, coalesces duplicate
+// indices inside each bin, and flushes whole bins at once.
+//
+// The engine converts an arrival-ordered scatter stream — where every
+// foreign or cold index pays a full cache miss, CAS retry, or queue
+// append at the strategy layer — into destination-ordered batches: each
+// flush presents the strategy with a run of unique indices that all land
+// in one block, so an atomic reducer issues one CAS pass per warm cache
+// region instead of per element, a block reducer resolves its block
+// pointer exactly once per flush, and a keeper classifies the whole bin
+// against one ownership range in O(1).
+//
+// Determinism: the engine is a pure function of its input stream. Entries
+// coalesce in first-arrival order (later duplicates fold into the earlier
+// entry's value), a bin flushes the moment it holds BinCap entries, all
+// live bins flush in first-touch order when the MaxLive bound is hit, and
+// Flush drains the remainder in first-touch order. Contributions to
+// *distinct* indices therefore commute bitwise (they touch independent
+// memory), while contributions to the *same* index are pre-summed in
+// arrival order — the one reassociation write-combining inherently
+// performs, surfaced to callers through the flush-stream contract
+// documented on Add.
+//
+// Memory: all bin storage (entry arrays, per-offset slot tables) is
+// pooled and reused across flushes and regions. A steady-state workload
+// re-binning the same access pattern performs zero allocations; the
+// retained capacity is reported through FootprintBytes and the OnAlloc
+// hook so owning reducers can charge it to their memory accounting.
+package scatter
+
+import (
+	"fmt"
+	"math/bits"
+	"unsafe"
+
+	"spray/internal/num"
+)
+
+// Default engine geometry: 1024-element blocks keep a bin's destination
+// span inside a few cache lines of the target array, 256-entry bins
+// amortize the flush dispatch ~256x, and 128 live bins bound the pooled
+// footprint regardless of how scattered the stream is.
+const (
+	DefaultBlockSize = 1024
+	DefaultBinCap    = 256
+	DefaultMaxLive   = 128
+)
+
+// Config tunes one binning engine.
+type Config struct {
+	// BlockSize is the destination-block width in elements (a positive
+	// power of two; 0 selects DefaultBlockSize). Strategies with their
+	// own block structure should align it with theirs so a flush never
+	// straddles a strategy block.
+	BlockSize int
+	// BinCap is the number of staged entries that triggers an automatic
+	// bin flush (0 selects DefaultBinCap). A bin never holds more than
+	// BinCap entries, so entry arrays are allocated once at exactly this
+	// capacity and never grow.
+	BinCap int
+	// MaxLive bounds the number of simultaneously materialized bins
+	// (0 selects DefaultMaxLive): touching the MaxLive+1-th distinct
+	// block flushes every other live bin, capping the engine footprint
+	// at MaxLive*(BlockSize*4 + BinCap*(4+sizeof(T))) bytes per thread.
+	MaxLive int
+	// OnAlloc, when set, is invoked with the byte size of every backing
+	// allocation the engine performs (bins table, slot tables, entry
+	// arrays). Capacity is pooled and never returned, matching the
+	// capacity-retention accounting rule of the reducers.
+	OnAlloc func(bytes int64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlockSize == 0 {
+		c.BlockSize = DefaultBlockSize
+	}
+	if c.BinCap == 0 {
+		c.BinCap = DefaultBinCap
+	}
+	if c.MaxLive == 0 {
+		c.MaxLive = DefaultMaxLive
+	}
+	return c
+}
+
+// Flush receives one drained bin: every index in idx lies in the
+// destination block [base, end), indices are unique (duplicates were
+// coalesced), and entries appear in first-arrival order. The callback
+// must not retain the slices past the call — the engine reuses them.
+type Flush[T num.Float] func(base, end int, idx []int32, vals []T)
+
+// bin is the staging state of one destination block. slot is nil while
+// the bin is dormant; an armed bin holds a per-offset table mapping the
+// intra-block offset to its entry position (-1 = absent) plus the entry
+// arrays, all drawn from the engine pools.
+type bin[T num.Float] struct {
+	idx  []int32
+	vals []T
+	slot []int32
+}
+
+// Binner is a single-threaded write-combining engine in front of one
+// flush sink. It is not safe for concurrent use — each team member owns
+// one (mirroring the reducers' Private accessors).
+type Binner[T num.Float] struct {
+	flush   Flush[T]
+	shift   uint
+	mask    int32
+	bsize   int
+	binCap  int
+	maxLive int
+	n       int
+
+	bins []bin[T]
+	live []int32 // armed blocks in first-touch order
+
+	poolSlot [][]int32
+	poolIdx  [][]int32
+	poolVal  [][]T
+
+	coalesced uint64
+	footprint int64
+	onAlloc   func(int64)
+}
+
+// New builds an engine over the index space [0, n) flushing through f.
+func New[T num.Float](f Flush[T], n int, cfg Config) *Binner[T] {
+	cfg = cfg.withDefaults()
+	if cfg.BlockSize < 1 || cfg.BlockSize&(cfg.BlockSize-1) != 0 {
+		panic(fmt.Sprintf("scatter: block size must be a positive power of two, got %d", cfg.BlockSize))
+	}
+	if cfg.BinCap < 1 {
+		panic(fmt.Sprintf("scatter: bin capacity must be positive, got %d", cfg.BinCap))
+	}
+	if cfg.MaxLive < 1 {
+		panic(fmt.Sprintf("scatter: live-bin bound must be positive, got %d", cfg.MaxLive))
+	}
+	if f == nil {
+		panic("scatter: nil flush sink")
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("scatter: negative index space %d", n))
+	}
+	nblocks := (n + cfg.BlockSize - 1) / cfg.BlockSize
+	b := &Binner[T]{
+		flush:   f,
+		shift:   uint(bits.TrailingZeros(uint(cfg.BlockSize))),
+		mask:    int32(cfg.BlockSize - 1),
+		bsize:   cfg.BlockSize,
+		binCap:  cfg.BinCap,
+		maxLive: cfg.MaxLive,
+		n:       n,
+		bins:    make([]bin[T], nblocks),
+		onAlloc: cfg.OnAlloc,
+	}
+	b.charge(int64(nblocks) * int64(3*24)) // bins table: three slice headers per block
+	return b
+}
+
+func (b *Binner[T]) charge(bytes int64) {
+	b.footprint += bytes
+	if b.onAlloc != nil {
+		b.onAlloc(bytes)
+	}
+}
+
+// BlockSize returns the configured destination-block width.
+func (b *Binner[T]) BlockSize() int { return b.bsize }
+
+// Add stages one contribution out[i] += v.
+//
+// Ordering contract: the engine emits, through its flush sink, exactly
+// one entry per (index, flush-epoch) whose value is the arrival-order sum
+// of the contributions staged for that index since its last flush.
+// Relative order of entries for *different* indices follows bin flush
+// order; relative order of the flush epochs of one index follows staging
+// order. Callers needing the precise emitted stream can capture it with a
+// recording Flush sink — the engine is deterministic.
+func (b *Binner[T]) Add(i int32, v T) {
+	blk := i >> b.shift
+	bn := &b.bins[blk]
+	if bn.slot == nil {
+		b.arm(blk)
+	}
+	off := i & b.mask
+	if s := bn.slot[off]; s >= 0 {
+		bn.vals[s] += v
+		b.coalesced++
+		return
+	}
+	bn.slot[off] = int32(len(bn.idx))
+	bn.idx = append(bn.idx, i)
+	bn.vals = append(bn.vals, v)
+	if len(bn.idx) == b.binCap {
+		b.emit(bn)
+	}
+}
+
+// Scatter stages a gathered batch: out[idx[j]] += vals[j] for ascending j.
+func (b *Binner[T]) Scatter(idx []int32, vals []T) {
+	for j, i := range idx {
+		blk := i >> b.shift
+		bn := &b.bins[blk]
+		if bn.slot == nil {
+			b.arm(blk)
+		}
+		off := i & b.mask
+		if s := bn.slot[off]; s >= 0 {
+			bn.vals[s] += vals[j]
+			b.coalesced++
+			continue
+		}
+		bn.slot[off] = int32(len(bn.idx))
+		bn.idx = append(bn.idx, i)
+		bn.vals = append(bn.vals, vals[j])
+		if len(bn.idx) == b.binCap {
+			b.emit(bn)
+		}
+	}
+}
+
+// arm materializes block blk's bin from the pools (or fresh allocations)
+// and registers it live. Hitting the MaxLive bound first flushes and
+// disarms every other live bin, so the pools are guaranteed to have
+// storage available and the footprint stays bounded.
+func (b *Binner[T]) arm(blk int32) {
+	if len(b.live) >= b.maxLive {
+		b.drainLive()
+	}
+	bn := &b.bins[blk]
+	if n := len(b.poolSlot); n > 0 {
+		bn.slot = b.poolSlot[n-1] // pooled tables come back reset to -1
+		b.poolSlot = b.poolSlot[:n-1]
+		bn.idx = b.poolIdx[len(b.poolIdx)-1][:0]
+		b.poolIdx = b.poolIdx[:len(b.poolIdx)-1]
+		bn.vals = b.poolVal[len(b.poolVal)-1][:0]
+		b.poolVal = b.poolVal[:len(b.poolVal)-1]
+	} else {
+		bn.slot = make([]int32, b.bsize)
+		for o := range bn.slot {
+			bn.slot[o] = -1
+		}
+		bn.idx = make([]int32, 0, b.binCap)
+		bn.vals = make([]T, 0, b.binCap)
+		var zero T
+		b.charge(int64(b.bsize)*4 + int64(b.binCap)*4 + int64(b.binCap)*int64(unsafe.Sizeof(zero)))
+	}
+	b.live = append(b.live, blk)
+}
+
+// emit flushes one armed bin's entries and resets it for refill; the bin
+// stays armed (a bin that just filled is likely hot) and live.
+func (b *Binner[T]) emit(bn *bin[T]) {
+	if len(bn.idx) == 0 {
+		return
+	}
+	base := int(bn.idx[0]) &^ int(b.mask)
+	end := base + b.bsize
+	if end > b.n {
+		end = b.n
+	}
+	b.flush(base, end, bn.idx, bn.vals)
+	for _, i := range bn.idx {
+		bn.slot[i&b.mask] = -1
+	}
+	bn.idx = bn.idx[:0]
+	bn.vals = bn.vals[:0]
+}
+
+// drainLive flushes every live bin in first-touch order and disarms it,
+// returning its storage to the pools.
+func (b *Binner[T]) drainLive() {
+	for _, blk := range b.live {
+		bn := &b.bins[blk]
+		b.emit(bn)
+		b.poolSlot = append(b.poolSlot, bn.slot)
+		b.poolIdx = append(b.poolIdx, bn.idx[:0])
+		b.poolVal = append(b.poolVal, bn.vals[:0])
+		bn.slot, bn.idx, bn.vals = nil, nil, nil
+	}
+	b.live = b.live[:0]
+}
+
+// Flush drains every live bin in first-touch order and returns their
+// storage to the pools. Call at the end of a chunk or region (the binned
+// accessor's Done does).
+func (b *Binner[T]) Flush() { b.drainLive() }
+
+// TakeCoalesced returns the number of duplicate contributions merged
+// since the last call, and resets the count.
+func (b *Binner[T]) TakeCoalesced() uint64 {
+	c := b.coalesced
+	b.coalesced = 0
+	return c
+}
+
+// FootprintBytes reports the engine's cumulative backing allocation.
+// Storage is pooled, never freed, so this is both current and peak.
+func (b *Binner[T]) FootprintBytes() int64 { return b.footprint }
+
+// LiveBins reports the number of currently materialized bins
+// (observability for tests and tuning).
+func (b *Binner[T]) LiveBins() int { return len(b.live) }

@@ -1,0 +1,391 @@
+package scatter
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// sinkAdd returns a flush sink that applies entries element-wise to out,
+// plus a pointer to a log of flushed (base, end, stream) records for
+// order-sensitive assertions.
+type flushRec struct {
+	base, end int
+	idx       []int32
+	vals      []float64
+}
+
+func recordingSink(out []float64, log *[]flushRec) Flush[float64] {
+	return func(base, end int, idx []int32, vals []float64) {
+		for j, i := range idx {
+			if int(i) < base || int(i) >= end {
+				panic("flush entry outside [base,end)")
+			}
+			out[i] += vals[j]
+		}
+		if log != nil {
+			*log = append(*log, flushRec{
+				base: base, end: end,
+				idx:  append([]int32(nil), idx...),
+				vals: append([]float64(nil), vals...),
+			})
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	sink := func(base, end int, idx []int32, vals []float64) {}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("non-pow2 block", func() { New(sink, 100, Config{BlockSize: 48}) })
+	mustPanic("negative bincap", func() { New(sink, 100, Config{BinCap: -1}) })
+	mustPanic("negative maxlive", func() { New(sink, 100, Config{MaxLive: -2}) })
+	mustPanic("nil sink", func() { New[float64](nil, 100, Config{}) })
+	mustPanic("negative n", func() { New(sink, -1, Config{}) })
+	// Defaults fill in.
+	b := New(sink, 100, Config{})
+	if b.BlockSize() != DefaultBlockSize {
+		t.Fatalf("BlockSize = %d, want default %d", b.BlockSize(), DefaultBlockSize)
+	}
+}
+
+func TestCoalescingAndFlush(t *testing.T) {
+	const n = 64
+	out := make([]float64, n)
+	var log []flushRec
+	b := New(recordingSink(out, &log), n, Config{BlockSize: 16, BinCap: 8, MaxLive: 4})
+
+	// Three contributions to index 5, two to 6, one to 20 (second block).
+	b.Add(5, 1)
+	b.Add(6, 10)
+	b.Add(5, 2)
+	b.Add(20, 100)
+	b.Add(5, 4)
+	b.Add(6, 20)
+	if got := b.LiveBins(); got != 2 {
+		t.Fatalf("LiveBins = %d, want 2", got)
+	}
+	if len(log) != 0 {
+		t.Fatalf("premature flush: %v", log)
+	}
+	b.Flush()
+	if out[5] != 7 || out[6] != 30 || out[20] != 100 {
+		t.Fatalf("out[5,6,20] = %v %v %v, want 7 30 100", out[5], out[6], out[20])
+	}
+	if got := b.TakeCoalesced(); got != 3 {
+		t.Fatalf("TakeCoalesced = %d, want 3 (two dup 5s, one dup 6)", got)
+	}
+	if got := b.TakeCoalesced(); got != 0 {
+		t.Fatalf("TakeCoalesced after reset = %d, want 0", got)
+	}
+	// First-touch flush order: block 0 (index 5 first) before block 1.
+	if len(log) != 2 || log[0].base != 0 || log[1].base != 16 {
+		t.Fatalf("flush order wrong: %+v", log)
+	}
+	// Entries in first-arrival order with coalesced values.
+	if !reflect.DeepEqual(log[0].idx, []int32{5, 6}) || !reflect.DeepEqual(log[0].vals, []float64{7, 30}) {
+		t.Fatalf("block-0 flush = %+v", log[0])
+	}
+	if b.LiveBins() != 0 {
+		t.Fatalf("LiveBins after Flush = %d", b.LiveBins())
+	}
+}
+
+func TestBinFullAutoFlush(t *testing.T) {
+	const n = 32
+	out := make([]float64, n)
+	var log []flushRec
+	b := New(recordingSink(out, &log), n, Config{BlockSize: 16, BinCap: 4, MaxLive: 4})
+	for i := int32(0); i < 4; i++ {
+		b.Add(i, 1)
+	}
+	if len(log) != 1 {
+		t.Fatalf("bin-full flush count = %d, want 1", len(log))
+	}
+	// Bin stays armed after an auto-flush and refills cleanly.
+	if b.LiveBins() != 1 {
+		t.Fatalf("LiveBins after auto-flush = %d, want 1", b.LiveBins())
+	}
+	b.Add(0, 5) // previously flushed index: slot must have been reset
+	b.Flush()
+	if out[0] != 6 {
+		t.Fatalf("out[0] = %v, want 6", out[0])
+	}
+}
+
+func TestMaxLiveOverflowDrains(t *testing.T) {
+	const n = 16 * 8
+	out := make([]float64, n)
+	var log []flushRec
+	b := New(recordingSink(out, &log), n, Config{BlockSize: 16, BinCap: 8, MaxLive: 2})
+	b.Add(0, 1)  // block 0
+	b.Add(16, 1) // block 1
+	b.Add(32, 1) // block 2: overflows MaxLive, drains blocks 0 and 1 first
+	if len(log) != 2 || log[0].base != 0 || log[1].base != 16 {
+		t.Fatalf("overflow drain = %+v, want blocks 0,1 in first-touch order", log)
+	}
+	if b.LiveBins() != 1 {
+		t.Fatalf("LiveBins after overflow = %d, want 1 (the new bin)", b.LiveBins())
+	}
+	b.Flush()
+	for _, i := range []int{0, 16, 32} {
+		if out[i] != 1 {
+			t.Fatalf("out[%d] = %v, want 1", i, out[i])
+		}
+	}
+}
+
+func TestTailBlockEndClamped(t *testing.T) {
+	// n not a multiple of BlockSize: the last block's end must clamp to n.
+	const n = 20
+	out := make([]float64, n)
+	var log []flushRec
+	b := New(recordingSink(out, &log), n, Config{BlockSize: 16, BinCap: 8, MaxLive: 2})
+	b.Add(19, 3)
+	b.Flush()
+	if len(log) != 1 || log[0].base != 16 || log[0].end != n {
+		t.Fatalf("tail flush = %+v, want base 16 end %d", log, n)
+	}
+}
+
+// TestExactEquivalence checks binned staging against the plain element-wise
+// loop, bitwise, using small-integer values where float addition is exact —
+// so any association order yields identical bits and the only thing under
+// test is that no contribution is lost, duplicated, or misrouted.
+func TestExactEquivalence(t *testing.T) {
+	streams := map[string]func(rng *rand.Rand, n, m int) []int32{
+		"uniform": func(rng *rand.Rand, n, m int) []int32 {
+			idx := make([]int32, m)
+			for j := range idx {
+				idx[j] = int32(rng.Intn(n))
+			}
+			return idx
+		},
+		"duplicate-heavy": func(rng *rand.Rand, n, m int) []int32 {
+			idx := make([]int32, m)
+			hot := int32(rng.Intn(n))
+			for j := range idx {
+				if rng.Intn(4) != 0 {
+					idx[j] = hot + int32(rng.Intn(8))%int32(n)
+					if idx[j] >= int32(n) {
+						idx[j] -= int32(n)
+					}
+				} else {
+					idx[j] = int32(rng.Intn(n))
+				}
+			}
+			return idx
+		},
+		"block-crossing": func(rng *rand.Rand, n, m int) []int32 {
+			// Alternate across block boundaries to defeat bin locality.
+			idx := make([]int32, m)
+			for j := range idx {
+				idx[j] = int32((j * 17) % n)
+			}
+			return idx
+		},
+		"descending": func(rng *rand.Rand, n, m int) []int32 {
+			idx := make([]int32, m)
+			for j := range idx {
+				idx[j] = int32(n - 1 - j%n)
+			}
+			return idx
+		},
+	}
+	for name, gen := range streams {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			for trial := 0; trial < 20; trial++ {
+				n := 1 + rng.Intn(300)
+				m := rng.Intn(2000)
+				idx := gen(rng, n, m)
+				vals := make([]float64, m)
+				for j := range vals {
+					vals[j] = float64(rng.Intn(9) - 4) // exact in float64
+				}
+				want := make([]float64, n)
+				for j, i := range idx {
+					want[i] += vals[j]
+				}
+				got := make([]float64, n)
+				b := New(recordingSink(got, nil), n, Config{
+					BlockSize: 1 << uint(rng.Intn(7)), // 1..64
+					BinCap:    1 + rng.Intn(16),
+					MaxLive:   1 + rng.Intn(8),
+				})
+				// Mix Add and Scatter entry points.
+				half := m / 2
+				for j := 0; j < half; j++ {
+					b.Add(idx[j], vals[j])
+				}
+				b.Scatter(idx[half:], vals[half:])
+				b.Flush()
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d (n=%d m=%d): binned result diverged", trial, n, m)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterministicReplay runs the identical stream through two engines
+// and asserts the emitted flush streams are identical record-for-record —
+// the determinism the strategy-level bitwise tests build on.
+func TestDeterministicReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, m = 500, 5000
+	idx := make([]int32, m)
+	vals := make([]float64, m)
+	for j := range idx {
+		idx[j] = int32(rng.Intn(n))
+		vals[j] = (rng.Float64() - 0.5) * 1e3 // rounding-hostile
+	}
+	run := func() (out []float64, log []flushRec) {
+		out = make([]float64, n)
+		b := New(recordingSink(out, &log), n, Config{BlockSize: 64, BinCap: 16, MaxLive: 4})
+		b.Scatter(idx, vals)
+		b.Flush()
+		return
+	}
+	out1, log1 := run()
+	out2, log2 := run()
+	if !reflect.DeepEqual(log1, log2) {
+		t.Fatal("two runs over the same stream emitted different flush streams")
+	}
+	if !reflect.DeepEqual(out1, out2) {
+		t.Fatal("two runs over the same stream produced different results")
+	}
+}
+
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	const n = 1 << 14
+	out := make([]float64, n)
+	sink := func(base, end int, idx []int32, vals []float64) {
+		for j, i := range idx {
+			out[i] += vals[j]
+		}
+	}
+	b := New(sink, n, Config{BlockSize: 256, BinCap: 64, MaxLive: 8})
+	idx := make([]int32, 1024)
+	vals := make([]float64, 1024)
+	rng := rand.New(rand.NewSource(3))
+	for j := range idx {
+		idx[j] = int32(rng.Intn(n))
+		vals[j] = 1
+	}
+	// Warm the pools: touch more blocks than MaxLive so every path
+	// (arm-from-pool, overflow drain, bin-full emit) has run.
+	b.Scatter(idx, vals)
+	b.Flush()
+	allocs := testing.AllocsPerRun(100, func() {
+		b.Scatter(idx, vals)
+		b.Flush()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Scatter+Flush allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestFootprintGrowsOnceThenStable(t *testing.T) {
+	var charged int64
+	b := New(func(base, end int, idx []int32, vals []float64) {}, 1<<12,
+		Config{BlockSize: 64, BinCap: 16, MaxLive: 4, OnAlloc: func(n int64) { charged += n }})
+	if charged != b.FootprintBytes() {
+		t.Fatalf("OnAlloc total %d != FootprintBytes %d after New", charged, b.FootprintBytes())
+	}
+	for i := int32(0); i < 1<<12; i++ {
+		b.Add(i, 1)
+	}
+	b.Flush()
+	after := b.FootprintBytes()
+	if charged != after {
+		t.Fatalf("OnAlloc total %d != FootprintBytes %d", charged, after)
+	}
+	// A second identical pass reuses pooled storage: footprint frozen.
+	for i := int32(0); i < 1<<12; i++ {
+		b.Add(i, 1)
+	}
+	b.Flush()
+	if b.FootprintBytes() != after {
+		t.Fatalf("footprint grew on steady-state pass: %d -> %d", after, b.FootprintBytes())
+	}
+	// Bounded by MaxLive regardless of block count: 4 live bins max.
+	maxBins := int64(4) * (64*4 + 16*4 + 16*8)
+	table := int64((1 << 12) / 64 * 3 * 24)
+	if after > table+maxBins {
+		t.Fatalf("footprint %d exceeds MaxLive bound %d", after, table+maxBins)
+	}
+}
+
+func TestFloat32(t *testing.T) {
+	const n = 100
+	out := make([]float32, n)
+	b := New(func(base, end int, idx []int32, vals []float32) {
+		for j, i := range idx {
+			out[i] += vals[j]
+		}
+	}, n, Config{BlockSize: 32, BinCap: 4, MaxLive: 2})
+	for i := int32(0); i < n; i++ {
+		b.Add(i%n, 1)
+		b.Add(i%n, 2)
+	}
+	b.Flush()
+	for i := range out {
+		if out[i] != 3 {
+			t.Fatalf("out[%d] = %v, want 3", i, out[i])
+		}
+	}
+}
+
+// FuzzBinnedEquivalence drives the engine with arbitrary index/value
+// streams — duplicate-heavy, out-of-order, block-crossing, whatever the
+// fuzzer invents — and cross-checks against the element-wise loop using
+// exact small-integer values (bitwise-stable under any association).
+func FuzzBinnedEquivalence(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 1, 0, 255, 17, 17, 17}, uint8(4), uint8(3), uint8(2))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9}, uint8(1), uint8(1), uint8(1))
+	f.Add([]byte{}, uint8(0), uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, bshift, bcap, mlive uint8) {
+		const n = 256
+		cfg := Config{
+			BlockSize: 1 << (bshift % 9), // 1..256
+			BinCap:    1 + int(bcap%32),  // 1..32
+			MaxLive:   1 + int(mlive%16), // 1..16
+		}
+		want := make([]float64, n)
+		got := make([]float64, n)
+		b := New(func(base, end int, idx []int32, vals []float64) {
+			if base%cfg.BlockSize != 0 || end > n || end <= base {
+				t.Fatalf("bad flush window [%d,%d)", base, end)
+			}
+			seen := map[int32]bool{}
+			for j, i := range idx {
+				if int(i) < base || int(i) >= end {
+					t.Fatalf("index %d outside flush window [%d,%d)", i, base, end)
+				}
+				if seen[i] {
+					t.Fatalf("duplicate index %d survived coalescing", i)
+				}
+				seen[i] = true
+				got[i] += vals[j]
+			}
+		}, n, cfg)
+		for p, by := range raw {
+			i := int32(by)
+			v := float64(p%7 - 3) // exact integers
+			want[i] += v
+			b.Add(i, v)
+		}
+		b.Flush()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatal("binned result diverged from element-wise loop")
+		}
+	})
+}

@@ -25,7 +25,16 @@ func TMulVec[T num.Float](team *spray.Team, st spray.Strategy, a *CSR[T], x, y [
 // scratch buffer and pushed with one Scatter per row, so the reducer
 // pays one dynamic dispatch per row instead of one per nonzero.
 func RunTMulVec[T num.Float](team *spray.Team, r spray.Reducer[T], a *CSR[T], x []T) {
-	spray.RunReduction(team, r, 0, a.Rows, spray.Static(),
+	RunTMulVecSched(team, r, a, x, spray.Static())
+}
+
+// RunTMulVecSched is RunTMulVec with an explicit loop schedule. Chunked
+// schedules (StaticChunk, Dynamic) give reducers with a mid-region drain
+// (keeper, and binned wrappers over it) chunk boundaries inside each
+// member's row range, so inbound foreign work is applied while the region
+// runs instead of piling up until Finalize.
+func RunTMulVecSched[T num.Float](team *spray.Team, r spray.Reducer[T], a *CSR[T], x []T, s spray.Schedule) {
+	spray.RunReduction(team, r, 0, a.Rows, s,
 		func(acc spray.Accessor[T], from, to int) {
 			bacc := spray.Bulk(acc)
 			var vals []T

@@ -58,6 +58,49 @@ func TestRunTMulVecIterated(t *testing.T) {
 	}
 }
 
+func TestRunTMulVecSchedMatches(t *testing.T) {
+	// Chunked schedules give mid-region-drain reducers (keeper, binned
+	// wrappers) boundaries inside each member's range; results must not
+	// depend on the schedule or on binning. Small-integer values keep
+	// every summation order exact, so the comparison is bitwise even
+	// though coalescing reassociates cross-row duplicates.
+	rng := rand.New(rand.NewSource(14))
+	c := NewCOO[float64](600, 600)
+	for i := 0; i < 600; i++ {
+		c.Add(i, i, float64(rng.Intn(5)+1))
+		for e := 0; e < 7; e++ {
+			if j := i + rng.Intn(81) - 40; j >= 0 && j < 600 {
+				c.Add(i, j, float64(rng.Intn(9)-4))
+			}
+		}
+	}
+	a := FromCOO(c)
+	x := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = float64(rng.Intn(7) - 3)
+	}
+	want := make([]float64, a.Cols)
+	a.TMulVecSeq(x, want)
+	for _, st := range []spray.Strategy{
+		spray.Keeper(),
+		spray.Binned(spray.Keeper()),
+		spray.Binned(spray.Atomic()),
+	} {
+		for _, sched := range []spray.Schedule{
+			spray.Static(), spray.StaticChunk(32), spray.Dynamic(16),
+		} {
+			team := spray.NewTeam(3)
+			y := make([]float64, a.Cols)
+			red := spray.New(st, y, team.Size())
+			RunTMulVecSched(team, red, a, x, sched)
+			team.Close()
+			if d := num.MaxAbsDiff(y, want); d != 0 {
+				t.Errorf("%s: diff %v", st, d)
+			}
+		}
+	}
+}
+
 func TestTMulVecAccumulatesIntoExisting(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	a := FromCOO(randomCOO(rng, 50, 60, 300))

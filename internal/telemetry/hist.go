@@ -27,8 +27,14 @@ const (
 	// KeeperDwell is the time a foreign update request spent queued
 	// before the finalize drain applied it. Sampled per (thread, owner)
 	// pair: the first foreign enqueue to each owner per region is
-	// stamped and measured when that owner's queue drains.
+	// stamped and measured when that owner's queue drains (or, with the
+	// mid-region mailbox path, when a published parcel is applied).
 	KeeperDwell
+	// FlushLatency is the latency of flushing one write-combining bin
+	// through the strategy's sink — the per-block claim/CAS/apply pass
+	// the binned Scatter path pays instead of per-element work. Sampled
+	// 1-in-N flushes.
+	FlushLatency
 
 	// NumHKinds sizes histogram shard blocks and snapshots.
 	NumHKinds
@@ -38,6 +44,7 @@ var hkindNames = [NumHKinds]string{
 	CASLatency:   "cas-latency",
 	ClaimLatency: "claim-latency",
 	KeeperDwell:  "keeper-dwell",
+	FlushLatency: "flush-latency",
 }
 
 // String returns the stable external name of the latency kind.

@@ -66,6 +66,18 @@ const (
 	// Escalations counts adaptive blocks promoted from the atomic regime
 	// to a private copy.
 	Escalations
+	// ScatterCoalesced counts duplicate scatter contributions merged
+	// inside a write-combining bin before reaching the strategy (each
+	// merged pair counts one: n updates to one index coalesce to n-1).
+	ScatterCoalesced
+	// BinFlushes counts write-combining bins flushed to a strategy —
+	// whether because the bin filled, the live-bin bound was hit, or the
+	// region ended.
+	BinFlushes
+	// KeeperMidDrains counts mid-region mailbox drains: chunk boundaries
+	// at which an owner found (and applied) inbound foreign parcels
+	// before Finalize.
+	KeeperMidDrains
 	// TraceDropped counts span events evicted from a full trace ring
 	// buffer (oldest-first) before they could be exported.
 	TraceDropped
@@ -76,20 +88,23 @@ const (
 )
 
 var kindNames = [NumKinds]string{
-	Updates:        "updates",
-	AddNRuns:       "addn-runs",
-	ScatterRuns:    "scatter-runs",
-	BulkElems:      "bulk-elems",
-	CASRetries:     "cas-retries",
-	BlockClaims:    "block-claims",
-	BlockFallbacks: "block-fallbacks",
-	PoolReuses:     "pool-reuses",
-	KeeperOwned:    "keeper-owned",
-	KeeperForeign:  "keeper-foreign",
-	KeeperDrained:  "keeper-drained",
-	Entries:        "entries",
-	Escalations:    "escalations",
-	TraceDropped:   "trace-dropped",
+	Updates:          "updates",
+	AddNRuns:         "addn-runs",
+	ScatterRuns:      "scatter-runs",
+	BulkElems:        "bulk-elems",
+	CASRetries:       "cas-retries",
+	BlockClaims:      "block-claims",
+	BlockFallbacks:   "block-fallbacks",
+	PoolReuses:       "pool-reuses",
+	KeeperOwned:      "keeper-owned",
+	KeeperForeign:    "keeper-foreign",
+	KeeperDrained:    "keeper-drained",
+	Entries:          "entries",
+	Escalations:      "escalations",
+	ScatterCoalesced: "scatter-coalesced",
+	BinFlushes:       "bin-flushes",
+	KeeperMidDrains:  "keeper-midregion-drains",
+	TraceDropped:     "trace-dropped",
 }
 
 // String returns the stable external name of the counter kind (used in

@@ -33,6 +33,7 @@ import (
 	"spray/internal/core"
 	"spray/internal/num"
 	"spray/internal/par"
+	"spray/internal/scatter"
 )
 
 // Value is the element type constraint for reducers: any floating-point
@@ -133,6 +134,14 @@ func ParallelFor(t *Team, lo, hi int, s Schedule, body func(tid, from, to int)) 
 // interface is backed by the concrete strategy type directly — there is
 // no adapter layer between the public API and the implementation.
 func New[T Value](st Strategy, out []T, threads int) Reducer[T] {
+	r := newInner(st, out, threads)
+	if st.binned {
+		return core.NewBinned(r, out, scatter.Config{})
+	}
+	return r
+}
+
+func newInner[T Value](st Strategy, out []T, threads int) Reducer[T] {
 	switch st.kind {
 	case kindBuiltin:
 		return core.NewBuiltin(out, threads)
@@ -173,6 +182,13 @@ func RunReduction[T Value](t *Team, r Reducer[T], lo, hi int, s Schedule, body f
 	}
 	c := par.NewChunker(s, lo, hi, t.Size())
 	c.SetTracer(t.Tracer())
+	if d, ok := r.(core.MidRegionDrainer); ok {
+		// Cooperative mid-region drain: publication on, and each member
+		// applies its inbound work at its chunk boundaries instead of
+		// deferring everything to the finalize step.
+		d.EnableMidDrain(true)
+		c.SetChunkDone(d.DrainMid)
+	}
 	t.Run(func(tid int) {
 		acc := r.Private(tid)
 		c.For(tid, func(from, to int) { body(acc, from, to) })

@@ -34,8 +34,9 @@ const DefaultBlockSize = 1024
 // select the scheme from configuration, the paper's performance
 // portability argument.
 type Strategy struct {
-	kind  kind
-	param int // block size for block-*, node degree for btree
+	kind   kind
+	param  int // block size for block-*, node degree for btree
+	binned bool
 }
 
 // Builtin selects the model of the compiler-provided OpenMP reduction
@@ -95,6 +96,22 @@ func Auto(blockSize int) Strategy {
 // per-thread partials carry correction terms, at twice Dense's memory.
 func Compensated() Strategy { return Strategy{kind: kindCompensated} }
 
+// Binned wraps any strategy with the software write-combining engine:
+// Scatter batches are staged into per-thread destination-block bins,
+// duplicate indices are coalesced, and whole bins flush through the
+// strategy at once. Add and AddN bypass the engine. Prints and parses as
+// "binned+<inner>", e.g. "binned+atomic". Worth it for duplicate-heavy
+// or block-revisiting scatter streams; a stream of unique near-sorted
+// indices only pays the staging copy. Note that coalescing pre-sums
+// same-index contributions in arrival order, so results can differ in
+// the last bits from the element-wise order (exact for integer-valued
+// data); Ordered's bitwise-reproducibility guarantee does not survive
+// the wrapper.
+func Binned(inner Strategy) Strategy {
+	inner.binned = true
+	return inner
+}
+
 func defaultBlock(b int) int {
 	if b <= 0 {
 		return DefaultBlockSize
@@ -103,8 +120,13 @@ func defaultBlock(b int) int {
 }
 
 // String renders the strategy in the paper's naming convention, e.g.
-// "block-cas-1024".
+// "block-cas-1024" or "binned+atomic".
 func (s Strategy) String() string {
+	if s.binned {
+		base := s
+		base.binned = false
+		return "binned+" + base.String()
+	}
 	switch s.kind {
 	case kindBuiltin:
 		return "omp-builtin"
@@ -142,6 +164,13 @@ func (s Strategy) String() string {
 // and B-tree degrees are optional suffixes: "block-cas" means
 // "block-cas-1024", "btree" uses the default degree.
 func ParseStrategy(s string) (Strategy, error) {
+	if rest, ok := strings.CutPrefix(s, "binned+"); ok {
+		inner, err := ParseStrategy(rest)
+		if err != nil {
+			return Strategy{}, err
+		}
+		return Binned(inner), nil
+	}
 	switch s {
 	case "omp-builtin", "builtin", "omp":
 		return Builtin(), nil
