@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci build vet lint test race race-telemetry bench-smoke overhead-smoke bench-bulk bench-observability bench-gate bench-scatter clean
+.PHONY: ci build vet lint test race race-telemetry bce-audit bench-smoke overhead-smoke bench-bulk bench-observability bench-gate bench-scatter clean
 
 # ci is the tier-1 gate plus cheap benchmark compile-and-run checks,
 # including the telemetry-off overhead guard and the benchmark
 # regression gate.
-ci: vet lint build test race race-telemetry bench-smoke overhead-smoke bench-gate bench-scatter
+ci: vet lint build test race race-telemetry bce-audit bench-smoke overhead-smoke bench-gate bench-scatter
 
 build:
 	$(GO) build ./...
@@ -24,8 +24,33 @@ lint:
 		echo "lint: staticcheck not installed; skipped (go vet still ran)"; \
 	fi
 
+# -shuffle=on randomizes test execution order within each package, so
+# hidden inter-test state dependencies fail in CI instead of lurking.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
+
+# bce-audit enforces the bounds-check-elimination contract of the hot
+# accumulate kernels. Building through cmd/spraybulk instantiates the
+# generic strategies so -d=ssa/check_bce reports real codegen, then:
+#   - internal/core/kernels.go (shared contiguous/masked accumulate
+#     kernels used by dense, block, keeper and the bin flush paths)
+#     must contain NO bounds checks at all;
+#   - internal/plan/exec.go (plan executor loops) must contain no
+#     slice-prologue checks — only the documented irreducible
+#     data-dependent gathers (IsInBounds) may remain.
+bce-audit:
+	@out=$$($(GO) build -gcflags='spray/...=-d=ssa/check_bce' -o /dev/null ./cmd/spraybulk 2>&1); \
+	bad=$$(printf '%s\n' "$$out" | grep -E 'internal/core/kernels\.go.*Found Is' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "bce-audit: bounds checks crept into the audited kernels:"; \
+		printf '%s\n' "$$bad"; exit 1; \
+	fi; \
+	bad=$$(printf '%s\n' "$$out" | grep -E 'internal/plan/exec\.go.*Found IsSliceInBounds' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "bce-audit: slice-prologue checks crept into the plan executor:"; \
+		printf '%s\n' "$$bad"; exit 1; \
+	fi; \
+	echo "bce-audit: hot accumulate kernels are bounds-check-free"
 
 race:
 	$(GO) test -race ./...
@@ -65,12 +90,17 @@ bench-observability:
 # must be caught), then records a quick sweep and compares it against
 # results/bench_baseline.json. A missing or incomparable baseline is
 # bootstrapped from the fresh run; a same-host regression beyond the
-# (deliberately wide, smoke-scale) noise band fails the target.
+# (deliberately wide, smoke-scale) noise band fails the target. The
+# plan amortization sweep gates with the scatter-class band: its points
+# are whole cold solves (record+compile inside the measurement) run few
+# times per sample, so run-to-run swing is far above the conv points'.
 bench-gate:
 	$(GO) run ./cmd/benchdiff -expect-regression -q cmd/benchdiff/testdata/base.json cmd/benchdiff/testdata/regressed.json
 	@mkdir -p results
 	$(GO) run ./cmd/spraybulk -n 100000 -max-threads 2 -repeats 2 -min-time 10ms -workload conv -json BENCH_gate.json
 	$(GO) run ./cmd/benchdiff -gate -sigma 4 -min-rel 0.25 results/bench_baseline.json BENCH_gate.json
+	$(GO) run ./cmd/spraybulk -n 60000 -max-threads 2 -repeats 2 -min-time 10ms -workload plan -plan-iters 1,4,16 -json BENCH_plan.json
+	$(GO) run ./cmd/benchdiff -gate -sigma 4 -min-rel 0.75 results/bench_baseline.json BENCH_plan.json
 
 # bench-scatter records the binned-vs-unbinned write-combining
 # comparison (duplicate-heavy conv adjoint stream + banded transpose
@@ -86,5 +116,5 @@ bench-scatter:
 	$(GO) run ./cmd/benchdiff -gate -sigma 4 -min-rel 0.75 results/bench_baseline.json BENCH_scatter.json
 
 clean:
-	rm -f BENCH_bulk.json BENCH_observability.json BENCH_gate.json BENCH_scatter.json
+	rm -f BENCH_bulk.json BENCH_observability.json BENCH_gate.json BENCH_scatter.json BENCH_plan.json
 	$(GO) clean ./...

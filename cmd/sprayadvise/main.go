@@ -29,14 +29,15 @@ func main() {
 		threads  = flag.Int("threads", 8, "threads the region would use")
 		block    = flag.Int("block", 0, "block size for locality metrics (0 = spray default)")
 		size     = flag.Int("n", 1_000_000, "problem size")
+		iters    = flag.Int("iters", 1, "expected repetitions of the region with an identical pattern (>1 enables the iterative plan recommendation)")
 	)
 	flag.Parse()
 
 	run := map[string]func(){
-		"conv":      func() { conv(*size, *threads, *block) },
-		"tmv":       func() { tmv(*size/10, *threads, *block) },
-		"graph":     func() { graph(*size/10, *threads, *block) },
-		"histogram": func() { histogram(*size, *threads, *block) },
+		"conv":      func() { conv(*size, *threads, *block, *iters) },
+		"tmv":       func() { tmv(*size/10, *threads, *block, *iters) },
+		"graph":     func() { graph(*size/10, *threads, *block, *iters) },
+		"histogram": func() { histogram(*size, *threads, *block, *iters) },
 	}
 	if *workload == "all" {
 		for _, name := range []string{"conv", "tmv", "graph", "histogram"} {
@@ -53,7 +54,7 @@ func main() {
 }
 
 // conv records the paper's Figure 9 stencil back-propagation.
-func conv(n, threads, block int) {
+func conv(n, threads, block, iters int) {
 	fmt.Printf("== conv back-propagation (N=%d) ==\n", n)
 	r := advisor.NewRecorder(n, threads, block)
 	for tid := 0; tid < threads; tid++ {
@@ -65,11 +66,11 @@ func conv(n, threads, block int) {
 			tape.Add(i+1, 1)
 		}
 	}
-	fmt.Print(r.Analyze(), "\n")
+	printReport(r.Analyze(), iters)
 }
 
 // tmv records the Figure 10 transpose-SpMV scatter on a banded matrix.
-func tmv(rows, threads, block int) {
+func tmv(rows, threads, block, iters int) {
 	fmt.Printf("== transpose-SpMV on banded matrix (%d rows) ==\n", rows)
 	a := sparse.Banded[float64](rows, rows, 9, 200, 1)
 	r := advisor.NewRecorder(a.Cols, threads, block)
@@ -82,11 +83,11 @@ func tmv(rows, threads, block int) {
 			}
 		}
 	}
-	fmt.Print(r.Analyze(), "\n")
+	printReport(r.Analyze(), iters)
 }
 
 // graph records a PageRank-style push over a power-law graph.
-func graph(nodes, threads, block int) {
+func graph(nodes, threads, block, iters int) {
 	fmt.Printf("== graph push (PageRank-style, %d nodes) ==\n", nodes)
 	g := sparse.Graph[float64](nodes, 8, 2)
 	r := advisor.NewRecorder(nodes, threads, block)
@@ -99,15 +100,15 @@ func graph(nodes, threads, block int) {
 			}
 		}
 	}
-	rec := r.Analyze()
-	fmt.Print(rec, "\n")
+	rep := r.Analyze()
+	printReport(rep, iters)
 	if hot := r.TopConflicts(5); len(hot) > 0 {
 		fmt.Printf("hottest shared indices: %v\n\n", hot)
 	}
 }
 
 // histogram records a skewed binning workload (the Figure 5 pattern).
-func histogram(samples, threads, block int) {
+func histogram(samples, threads, block, iters int) {
 	const bins = 1 << 16
 	fmt.Printf("== skewed histogram (%d samples into %d bins) ==\n", samples, bins)
 	rng := rand.New(rand.NewSource(7))
@@ -127,5 +128,16 @@ func histogram(samples, threads, block int) {
 			tape.Add(int(keys[i]), 1)
 		}
 	}
-	fmt.Print(r.Analyze(), "\n")
+	printReport(r.Analyze(), iters)
+}
+
+// printReport renders the analysis and, for repeated regions, the
+// iterative recommendation beneath the one-shot one.
+func printReport(rep advisor.Report, iters int) {
+	fmt.Print(rep)
+	if iters > 1 {
+		rec := rep.RecommendIterative(iters)
+		fmt.Printf("iterative (x%d)     %s — %s\n", iters, rec.Strategy, rec.Reason)
+	}
+	fmt.Println()
 }

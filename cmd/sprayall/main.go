@@ -20,6 +20,7 @@ import (
 
 	"spray"
 	"spray/internal/bench"
+	"spray/internal/cliutil"
 	"spray/internal/experiments"
 	"spray/internal/sparse"
 	"spray/internal/telemetry"
@@ -35,8 +36,12 @@ func main() {
 		metrics    = flag.Bool("metrics", false, "instrument the conv figures: print a telemetry region report per measured point (stderr) and attach counters to CSV-adjacent data")
 		metricsWeb = flag.String("metrics-http", "", "serve live telemetry on this address while running; implies -metrics")
 		tracePath  = flag.String("trace", "", "record span timelines for the conv figures and write them as Chrome trace-event JSON to this path")
+		prof       cliutil.Profiling
 	)
+	prof.AddFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	fatalIf(err)
 
 	convN, tmvScale, luleshEdge, luleshCycles := 1_000_000, 0.1, 15, 30
 	if *paper {
@@ -107,6 +112,15 @@ func main() {
 	// Beyond-paper strategies on the conv kernel.
 	emit(experiments.Extensions(convCfg), *outdir, "extensions.csv")
 
+	// Plan-compiled reduction: the amortization curve over repeated
+	// applications on the s3dkt3m2-shaped band profile.
+	ths := bench.ThreadCounts(*maxThreads)
+	pcfg := experiments.DefaultPlanConfig(int(90449*tmvScale), ths[len(ths)-1])
+	pcfg.Runner = runner
+	pcfg.Telemetry = *metrics
+	pcfg.OnReport = onReport
+	emit(experiments.PlanTMV(pcfg), *outdir, "plan_tmv.csv")
+
 	// Write-combining scatter: binned vs unbinned on the duplicate-heavy
 	// conv adjoint stream and the banded transpose product.
 	scfg := experiments.DefaultScatterConfig(convN/4, *maxThreads)
@@ -124,6 +138,7 @@ func main() {
 		fatalIf(f.Close())
 		fmt.Fprintf(os.Stderr, "wrote %s (%d timelines, %d dropped events)\n", *tracePath, sink.Len(), sink.Dropped())
 	}
+	fatalIf(stopProf())
 }
 
 // scaleMatrix generates the paper matrix (scale 1) or a proportionally

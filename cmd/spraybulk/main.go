@@ -13,6 +13,16 @@
 // streams:
 //
 //	spraybulk -workload scatter -json BENCH_scatter.json
+//
+// The plan workload sweeps applications-per-solve instead of threads,
+// measuring how the plan-compiled wrapper (spray.Planned) amortizes its
+// record+compile cost against its inner strategies and the MKL-style
+// inspector/executor:
+//
+//	spraybulk -workload plan -json BENCH_plan.json
+//
+// Both commands accept -cpuprofile / -memprofile to capture pprof
+// profiles of the run.
 package main
 
 import (
@@ -34,15 +44,20 @@ func main() {
 		maxThreads = flag.Int("max-threads", 8, "largest thread count in the sweep")
 		threads    = flag.String("threads", "", "explicit comma-separated thread counts (overrides -max-threads)")
 		strategies = flag.String("strategies", "", "comma-separated strategy list (default: dense,atomic,block-cas,keeper)")
-		workload   = flag.String("workload", "all", "workload to run: conv, tmv, scatter or all")
+		workload   = flag.String("workload", "all", "workload to run: conv, tmv, scatter, plan or all")
+		planIters  = flag.String("plan-iters", "", "comma-separated applications-per-solve counts for the plan workload (default: 1,2,4,8,16,32)")
 		repeats    = flag.Int("repeats", 3, "samples per configuration")
 		minTime    = flag.Duration("min-time", 100*time.Millisecond, "minimum time per sample")
 		jsonPath   = flag.String("json", "BENCH_bulk.json", "write results as JSON to this path (empty = skip)")
 		metrics    = flag.Bool("metrics", false, "instrument every run: print a telemetry region report per measured point and attach the counters to the JSON output")
 		metricsWeb = flag.String("metrics-http", "", "serve live telemetry on this address (e.g. localhost:6060) while running; implies -metrics")
 		tracePath  = flag.String("trace", "", "record span timelines and write them as Chrome trace-event JSON to this path (chrome://tracing, ui.perfetto.dev)")
+		prof       cliutil.Profiling
 	)
+	prof.AddFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	fatalIf(err)
 
 	cfg := experiments.DefaultBulkConfig(*n, *maxThreads)
 	cfg.Runner = bench.Runner{Repeats: *repeats, MinTime: *minTime}
@@ -82,6 +97,22 @@ func main() {
 		scfg.Strategies = experiments.DefaultScatterConfig(*n, *maxThreads).Strategies
 	}
 
+	// The plan amortization sweep runs at the largest team size with a
+	// banded matrix sized off -n; the strategy set defaults to the
+	// plan-vs-inner comparison unless overridden.
+	pcfg := experiments.DefaultPlanConfig(*n/4, cfg.Threads[len(cfg.Threads)-1])
+	pcfg.Runner = cfg.Runner
+	pcfg.Telemetry = cfg.Telemetry
+	pcfg.OnReport = cfg.OnReport
+	if *strategies != "" {
+		pcfg.Strategies = cfg.Strategies
+	}
+	if *planIters != "" {
+		its, err := cliutil.ParseInts(*planIters)
+		fatalIf(err)
+		pcfg.Iterations = its
+	}
+
 	var results []*bench.Result
 	switch *workload {
 	case "conv":
@@ -90,11 +121,14 @@ func main() {
 		results = append(results, experiments.BulkTMV(cfg))
 	case "scatter":
 		results = append(results, experiments.ScatterConv(scfg), experiments.ScatterTMV(scfg))
+	case "plan":
+		results = append(results, experiments.PlanTMV(pcfg))
 	case "all":
 		results = append(results, experiments.BulkConv(cfg), experiments.BulkTMV(cfg),
-			experiments.ScatterConv(scfg), experiments.ScatterTMV(scfg))
+			experiments.ScatterConv(scfg), experiments.ScatterTMV(scfg),
+			experiments.PlanTMV(pcfg))
 	default:
-		fatalIf(fmt.Errorf("unknown workload %q (want conv, tmv, scatter or all)", *workload))
+		fatalIf(fmt.Errorf("unknown workload %q (want conv, tmv, scatter, plan or all)", *workload))
 	}
 	for _, res := range results {
 		res.WriteTable(os.Stdout)
@@ -115,6 +149,7 @@ func main() {
 		fatalIf(f.Close())
 		fmt.Fprintf(os.Stderr, "wrote %s (%d timelines, %d dropped events)\n", *tracePath, sink.Len(), sink.Dropped())
 	}
+	fatalIf(stopProf())
 }
 
 func fatalIf(err error) {

@@ -214,6 +214,34 @@ func (rep Report) Recommend() Recommendation {
 	}
 }
 
+// PlanAmortizationIters is the repetition count from which wrapping the
+// recommended strategy in a compiled plan pays off: the record region
+// runs at inner-strategy speed and the compile costs roughly one more
+// region, so with four or more identical regions the plan's race-free
+// executor has amortized both (see the cmd/spraybulk plan workload).
+const PlanAmortizationIters = 4
+
+// RecommendIterative is Recommend for workloads that will replay the
+// recorded region repeatedly with an identical index pattern (iterative
+// solvers, time stepping, training loops; iters is the expected
+// repetition count). When the repetition amortizes the one-time
+// record+compile cost and threads actually share indices, the base
+// recommendation is wrapped in spray.Planned; otherwise it is returned
+// unchanged.
+func (rep Report) RecommendIterative(iters int) Recommendation {
+	base := rep.Recommend()
+	if iters < PlanAmortizationIters {
+		return base
+	}
+	if rep.ConflictRate == 0 {
+		return Recommendation{base.Strategy, base.Reason +
+			"; no cross-thread conflicts were recorded, so a compiled plan would only add bookkeeping"}
+	}
+	return Recommendation{spray.Planned(base.Strategy), fmt.Sprintf(
+		"%s; the pattern repeats ~%d times, so a compiled plan amortizes one record+compile region and runs the rest race-free",
+		base.Reason, iters)}
+}
+
 // String renders the report as an aligned table plus the recommendation.
 func (rep Report) String() string {
 	var b strings.Builder

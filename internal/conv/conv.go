@@ -83,6 +83,19 @@ func (w Weights3[T]) RunBackprop(team *spray.Team, r spray.Reducer[T], seed []T)
 		})
 }
 
+// RunBackpropIters runs iters back-propagation sweeps through one
+// Reducer — the training-loop shape where the stencil geometry (and so
+// every region's AddN pattern) is fixed across epochs while the seed
+// values change. With a plan-compiled reducer the first sweep records
+// the fixed tile pattern and later sweeps execute race-free, amortizing
+// the compile exactly as MKL's inspector/executor amortizes inspection
+// over repeated applications.
+func (w Weights3[T]) RunBackpropIters(team *spray.Team, r spray.Reducer[T], seed []T, iters int) {
+	for it := 0; it < iters; it++ {
+		w.RunBackprop(team, r, seed)
+	}
+}
+
 // RunBackpropScatter drives the Figure 9 loop through the Scatter entry
 // point in its natural adjoint order: each tile emits the interleaved
 // triple stream (i-1, wl·s), (i, wc·s), (i+1, wr·s) for ascending i —

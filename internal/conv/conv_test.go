@@ -169,6 +169,27 @@ func TestRunBackpropReuse(t *testing.T) {
 	}
 }
 
+func TestRunBackpropItersPlanMatchesSequential(t *testing.T) {
+	const n, rounds = 1500, 4
+	w := Weights3[float64]{WL: 1, WC: 2, WR: 3}
+	seed := randSeed(n, 11)
+	want := make([]float64, n)
+	for r := 0; r < rounds; r++ {
+		w.BackpropSeq(seed, want)
+	}
+	team := spray.NewTeam(4)
+	defer team.Close()
+	out := make([]float64, n)
+	// The plan wrapper records the fixed tile pattern on round 1 and
+	// executes it for the remaining rounds; integer-valued taps and seeds
+	// make the comparison exact.
+	red := spray.New(spray.Planned(spray.Atomic()), out, team.Size())
+	w.RunBackpropIters(team, red, seed, rounds)
+	if d := num.MaxAbsDiff(out, want); d != 0 {
+		t.Errorf("planned iterated backprop diff %v", d)
+	}
+}
+
 func TestForwardBoundariesUntouched(t *testing.T) {
 	const n = 64
 	w := Weights3[float64]{WL: 1, WC: 1, WR: 1}

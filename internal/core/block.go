@@ -159,10 +159,7 @@ func (p *blockPrivate[T]) AddN(base int, vals []T) {
 		if view == nil {
 			view = p.acquire(b)
 		}
-		dst := view[off : off+n]
-		for j, v := range vals[:n] {
-			dst[j] += v
-		}
+		addInto(view[off:off+n], vals)
 		base += n
 		vals = vals[n:]
 	}
@@ -252,10 +249,28 @@ func (p *blockPrivate[T]) resolve(b int) []T {
 // FlushBin applies one write-combined bin. With the bin block aligned to
 // the strategy block (BinBlockSize), the whole bin lands in one block:
 // the view is resolved exactly once — one claim or one fallback lookup
-// per flush instead of a nil-check per element. Misaligned bins degrade
-// gracefully to the Scatter-style per-run resolution.
+// per flush instead of a nil-check per element — and a full-size view
+// runs the masked kernel with no per-element bounds check. Misaligned
+// bins degrade gracefully to the Scatter-style per-run resolution.
 func (p *blockPrivate[T]) FlushBin(base, end int, idx []int32, vals []T) {
+	if len(idx) == 0 {
+		return
+	}
 	mask, shift := p.parent.mask, p.parent.shift
+	if b := base >> shift; (end-1)>>shift == b {
+		view := p.view[b]
+		if view == nil {
+			view = p.acquire(b)
+		}
+		if len(view) == p.parent.bsize {
+			maskedScatterAdd(view, idx, vals)
+			return
+		}
+		for j, i := range idx { // partial tail block
+			view[int(i)&mask] += vals[j]
+		}
+		return
+	}
 	lastB := -1
 	var view []T
 	for j, i := range idx {
@@ -298,10 +313,7 @@ func (bl *Block[T]) Finalize() {
 		p := &bl.privs[t]
 		for _, fb := range p.fallbk {
 			base := fb.block << bl.shift
-			dst := bl.out[base : base+len(fb.buf)]
-			for j, v := range fb.buf {
-				dst[j] += v
-			}
+			addInto(bl.out[base:base+len(fb.buf)], fb.buf)
 		}
 		bl.recycle(p)
 	}
@@ -331,10 +343,7 @@ func (bl *Block[T]) FinalizeWith(t *par.Team) {
 					continue
 				}
 				base := fb.block << bl.shift
-				dst := bl.out[base : base+len(fb.buf)]
-				for j, v := range fb.buf {
-					dst[j] += v
-				}
+				addInto(bl.out[base:base+len(fb.buf)], fb.buf)
 			}
 		}
 	})

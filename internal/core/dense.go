@@ -59,10 +59,7 @@ func (p *densePrivate[T]) Add(i int, v T) {
 // vectorizable loop with the bounds check hoisted out.
 func (p *densePrivate[T]) AddN(base int, vals []T) {
 	p.tel.IncRun(telemetry.AddNRuns, len(vals))
-	dst := p.buf[base : base+len(vals)]
-	for j, v := range vals {
-		dst[j] += v
-	}
+	addInto(p.buf[base:base+len(vals)], vals)
 }
 
 // Scatter accumulates a gathered batch into the private copy.
@@ -99,9 +96,7 @@ func (d *Dense[T]) Finalize() {
 		if !d.active[tid] {
 			continue
 		}
-		for i, v := range buf {
-			d.out[i] += v
-		}
+		addInto(d.out, buf)
 		d.active[tid] = false
 	}
 }
@@ -117,9 +112,7 @@ func (d *Dense[T]) FinalizeWith(t *par.Team) {
 			if !d.active[src] {
 				continue
 			}
-			for i := from; i < to; i++ {
-				d.out[i] += buf[i]
-			}
+			addInto(d.out[from:to], buf[from:to])
 		}
 	})
 	for tid := range d.active {

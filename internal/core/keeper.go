@@ -175,10 +175,7 @@ func (p *keeperPrivate[T]) AddN(base int, vals []T) {
 		}
 		if o == p.tid {
 			p.tel.Add(telemetry.KeeperOwned, n)
-			dst := p.out[base : base+n]
-			for j, v := range vals[:n] {
-				dst[j] += v
-			}
+			addInto(p.out[base:base+n], vals)
 		} else {
 			p.tel.Add(telemetry.KeeperForeign, n)
 			p.stampDwell(o)
@@ -241,9 +238,17 @@ func (p *keeperPrivate[T]) FlushBin(base, end int, idx []int32, vals []T) {
 	if o := base / p.chunk; o == (end-1)/p.chunk {
 		if o == p.tid {
 			p.tel.Add(telemetry.KeeperOwned, len(idx))
-			out := p.out
-			for j, i := range idx {
-				out[i] += vals[j]
+			// The engine hands bins aligned to its power-of-two block, so
+			// a power-of-two-long window [base, end) has base a multiple
+			// of its length and the masked kernel applies (tail windows
+			// with other lengths fall back to the per-element loop).
+			if own := p.out[base:end]; len(own) > 0 && len(own)&(len(own)-1) == 0 {
+				maskedScatterAdd(own, idx, vals)
+			} else {
+				out := p.out
+				for j, i := range idx {
+					out[i] += vals[j]
+				}
 			}
 		} else {
 			p.tel.Add(telemetry.KeeperForeign, len(idx))

@@ -1,0 +1,52 @@
+package core
+
+import "spray/internal/num"
+
+// Bounds-check-free inner kernels shared by the strategies' hot
+// accumulate paths (dense copy merge, block segment accumulate and
+// fallback merge, keeper owned-segment accumulate, write-combined bin
+// flush). Each kernel front-loads one explicit length (or shape) guard
+// so the compiler's prove pass can discharge every check inside the
+// loop — including the pinning re-slices, which an implicit prologue
+// re-slice alone would not achieve (the re-slice itself emits
+// IsSliceInBounds unless a dominating comparison proves it).
+//
+// `make bce-audit` builds the tree with -d=ssa/check_bce and fails if
+// the compiler reports any bounds check in this file, so the property
+// is enforced, not aspirational. Data-dependent gathers (out[idx[j]]
+// over the whole array, slot-table lookups) are NOT routed through
+// here: their per-element check is irreducible and they keep their
+// local loops.
+
+// addInto accumulates src into dst elementwise: dst[j] += src[j] for
+// every j < len(dst). src may be longer than dst; it must not be
+// shorter.
+func addInto[T num.Float](dst, src []T) {
+	if len(src) < len(dst) {
+		panic("core: addInto source shorter than destination")
+	}
+	src = src[:len(dst)]
+	for j := range dst {
+		dst[j] += src[j]
+	}
+}
+
+// maskedScatterAdd applies a gathered batch whose destinations all lie
+// in one power-of-two-sized, power-of-two-aligned window of the target
+// array: view[int(i)&(len(view)-1)] += vals[j]. Because the window base
+// is a multiple of len(view), masking the absolute index yields the
+// in-window offset, and prove knows x&(len-1) is always in range — the
+// one scatter shape where the per-element bounds check is reducible.
+func maskedScatterAdd[T num.Float](view []T, idx []int32, vals []T) {
+	if len(view) == 0 || len(view)&(len(view)-1) != 0 {
+		panic("core: maskedScatterAdd window not a power of two")
+	}
+	if len(vals) < len(idx) {
+		panic("core: maskedScatterAdd fewer values than indices")
+	}
+	mask := len(view) - 1
+	vals = vals[:len(idx)]
+	for j, i := range idx {
+		view[int(i)&mask] += vals[j]
+	}
+}

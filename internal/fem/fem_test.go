@@ -153,6 +153,29 @@ func TestAssembleWithAccumulates(t *testing.T) {
 	}
 }
 
+func TestAssembleItersPlanMatchesSequential(t *testing.T) {
+	// The multi-pass helper through a plan-compiled reducer: pass 1
+	// records the element scatter map, later passes run the compiled
+	// executor. All passes must accumulate exactly like repeated
+	// sequential assembly.
+	const passes = 3
+	m := mesh.NewHex(3, 1)
+	p := NewProblem(m)
+	team := spray.NewTeam(3)
+	defer team.Close()
+	p.AssembleSeq()
+	want := append([]float64(nil), p.Pattern.Val...)
+	for i := range want {
+		want[i] *= passes
+	}
+	clear(p.Pattern.Val)
+	r := spray.New(spray.Planned(spray.Keeper()), p.Pattern.Val, team.Size())
+	p.AssembleIters(team, r, passes)
+	if d := num.MaxAbsDiff(p.Pattern.Val, want); d > 1e-12 {
+		t.Errorf("planned %d-pass assembly diff %v", passes, d)
+	}
+}
+
 func TestScatterOverlapIsReal(t *testing.T) {
 	// Neighboring elements must write to shared CSR positions —
 	// otherwise this test case would not exercise reductions at all.

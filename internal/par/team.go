@@ -109,6 +109,15 @@ func Default() *Team { return NewTeam(runtime.GOMAXPROCS(0)) }
 // Size returns the number of team members.
 func (t *Team) Size() int { return t.size }
 
+// Regions returns the number of parallel regions dispatched on this team
+// so far — a monotonically increasing region epoch. Regions are counted
+// whether or not instrumentation is attached, so the value is a stable
+// clock: the plan-compiled reducer stamps its compiled plan with the
+// epoch of the record region, letting diagnostics correlate a plan with
+// the region that produced it. Read it between regions (the counter is
+// bumped at dispatch, unsynchronized with the members).
+func (t *Team) Regions() int64 { return t.regions }
+
 // SetTiming attaches (or, with nil, detaches) a region-lifecycle timing
 // accumulator. tm must have been built for this team's size. Not safe to
 // call while a region is running.
@@ -161,12 +170,12 @@ func (t *Team) Run(fn func(tid int)) {
 	tm, tr := t.timing, t.tracer
 	run := fn
 	var task *trace.Task
+	t.regions++
 	if traced := trace.IsEnabled(); tm != nil || tr != nil || traced {
 		var ctx context.Context = context.Background()
 		if traced {
 			ctx, task = trace.NewTask(ctx, "par.Run")
 		}
-		t.regions++
 		run = instrumentRegion(ctx, fn, tm, tr, t.regions, traced)
 	}
 	var start time.Time

@@ -1,0 +1,116 @@
+package plan
+
+import "spray/internal/num"
+
+// Executor hot loops. These run once per verified op in execute mode and
+// are written so the compiler's prove pass eliminates bounds checks in
+// the inner loops: contiguous paths pin the slice lengths with an
+// explicit length guard plus a prologue re-slice (the guard dominates
+// the re-slice, so prove discharges its IsSliceInBounds too), and the
+// owned-range test doubles as the bounds proof (k := i-lo;
+// uint(k) < uint(len(own)) is both "i is owned" and "own[k] is in
+// range" in a single compare). The only checks left in this file are
+// the irreducible data-dependent gathers (ex[cur], out[d], ex[pos[k]]);
+// `make bce-audit` asserts no slice-prologue check ever creeps back in.
+
+// addSlices is the owned segment of a verified AddN run: dst[j] += src[j].
+func addSlices[T num.Float](dst, src []T) {
+	if len(src) < len(dst) {
+		panic("plan: addSlices source shorter than destination")
+	}
+	src = src[:len(dst)]
+	for j := range dst {
+		dst[j] += src[j]
+	}
+}
+
+// kahanSlices is the compensated variant of addSlices, bit-identical to
+// the compensated strategy's per-element update order.
+func kahanSlices[T num.Float](sum, comp, src []T) {
+	if len(comp) < len(sum) || len(src) < len(sum) {
+		panic("plan: kahanSlices operand shorter than sum")
+	}
+	comp = comp[:len(sum)]
+	src = src[:len(sum)]
+	for j := range sum {
+		v := src[j]
+		y := v - comp[j]
+		t := sum[j] + y
+		comp[j] = (t - sum[j]) - y
+		sum[j] = t
+	}
+}
+
+// scatterOwned applies a verified Scatter batch: owned elements (own is
+// out[lo:hi]) accumulate in place, foreign values land in the next
+// exchange slots. Returns the advanced slot cursor. The batch content
+// was verified against the tape, so the foreign elements fill exactly
+// the slots the compiled plan assigned to this op.
+func scatterOwned[T num.Float](own []T, lo int, idx []int32, vals []T, ex []T, cur int) int {
+	if len(vals) < len(idx) {
+		panic("plan: scatterOwned fewer values than indices")
+	}
+	vals = vals[:len(idx)]
+	for j, i := range idx {
+		v := vals[j]
+		if k := int(i) - lo; uint(k) < uint(len(own)) {
+			own[k] += v
+		} else {
+			ex[cur] = v
+			cur++
+		}
+	}
+	return cur
+}
+
+// scatterOwnedKahan is the compensated variant of scatterOwned; comp is
+// the owner-range compensation slice aligned with own.
+func scatterOwnedKahan[T num.Float](own, comp []T, lo int, idx []int32, vals []T, ex []T, cur int) int {
+	if len(comp) < len(own) || len(vals) < len(idx) {
+		panic("plan: scatterOwnedKahan operand length mismatch")
+	}
+	comp = comp[:len(own)]
+	vals = vals[:len(idx)]
+	for j, i := range idx {
+		v := vals[j]
+		if k := int(i) - lo; uint(k) < uint(len(own)) {
+			y := v - comp[k]
+			t := own[k] + y
+			comp[k] = (t - own[k]) - y
+			own[k] = t
+		} else {
+			ex[cur] = v
+			cur++
+		}
+	}
+	return cur
+}
+
+// mergeExchange applies one (owner, source) exchange list at finalize:
+// out[idx[k]] += ex[pos[k]]. Both gathers are data-dependent; the loop
+// itself is branch-free.
+func mergeExchange[T num.Float](out []T, idx, pos []int32, ex []T) {
+	if len(pos) < len(idx) {
+		panic("plan: mergeExchange fewer slots than destinations")
+	}
+	pos = pos[:len(idx)]
+	for k, d := range idx {
+		out[d] += ex[pos[k]]
+	}
+}
+
+// mergeExchangeKahan is the compensated variant of mergeExchange; comp
+// is the full-length compensation array (indexed by destination).
+func mergeExchangeKahan[T num.Float](out, comp []T, idx, pos []int32, ex []T) {
+	if len(pos) < len(idx) {
+		panic("plan: mergeExchangeKahan fewer slots than destinations")
+	}
+	pos = pos[:len(idx)]
+	for k, d := range idx {
+		v := ex[pos[k]]
+		y := v - comp[d]
+		t := out[d] + y
+		comp[d] = (t - out[d]) - y
+		out[d] = t
+	}
+}

@@ -1,0 +1,572 @@
+package plan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spray/internal/core"
+	"spray/internal/num"
+	"spray/internal/par"
+	"spray/internal/telemetry"
+)
+
+// bulkOp is one recorded submission in a test stream: an element-wise Add
+// (add set), a contiguous AddN run (idx nil), or a gathered Scatter.
+type bulkOp struct {
+	add  bool
+	base int
+	idx  []int32
+	vals []float64
+}
+
+// genStream builds one per-thread op stream mixing all three submission
+// shapes. Values are small integers so float accumulation is exact and
+// any reordering bug shows up as a bitwise difference.
+func genStream(seed int64, threads, n, opsPer int) [][]bulkOp {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([][]bulkOp, threads)
+	for t := range ops {
+		for o := 0; o < opsPer; o++ {
+			switch rng.Intn(3) {
+			case 0: // element-wise
+				ops[t] = append(ops[t], bulkOp{
+					add:  true,
+					base: rng.Intn(n),
+					vals: []float64{float64(rng.Intn(9) - 4)},
+				})
+			case 1: // contiguous run
+				m := 1 + rng.Intn(64)
+				base := rng.Intn(n - m + 1)
+				vals := make([]float64, m)
+				for j := range vals {
+					vals[j] = float64(rng.Intn(9) - 4)
+				}
+				ops[t] = append(ops[t], bulkOp{base: base, vals: vals})
+			default: // gathered batch
+				m := 1 + rng.Intn(48)
+				idx := make([]int32, m)
+				vals := make([]float64, m)
+				for j := range idx {
+					idx[j] = int32(rng.Intn(n))
+					vals[j] = float64(rng.Intn(9) - 4)
+				}
+				ops[t] = append(ops[t], bulkOp{idx: idx, vals: vals})
+			}
+		}
+	}
+	return ops
+}
+
+// accumulate applies one thread-stream element-wise into want — the
+// sequential reference.
+func accumulate(want []float64, ops [][]bulkOp) {
+	for t := range ops {
+		for _, op := range ops[t] {
+			switch {
+			case op.add:
+				want[op.base] += op.vals[0]
+			case op.idx == nil:
+				for j, v := range op.vals {
+					want[op.base+j] += v
+				}
+			default:
+				for j, i := range op.idx {
+					want[int(i)] += op.vals[j]
+				}
+			}
+		}
+	}
+}
+
+// runRegion drives one parallel region of the given streams through r.
+func runRegion(team *par.Team, r core.Reducer[float64], ops [][]bulkOp) {
+	team.Run(func(tid int) {
+		acc := r.Private(tid)
+		bacc := core.AsBulk(acc)
+		for _, op := range ops[tid] {
+			switch {
+			case op.add:
+				bacc.Add(op.base, op.vals[0])
+			case op.idx == nil:
+				bacc.AddN(op.base, op.vals)
+			default:
+				bacc.Scatter(op.idx, op.vals)
+			}
+		}
+		acc.Done()
+	})
+	r.FinalizeWith(team)
+}
+
+// TestPlannedLifecycle walks the record→compile→execute path: the first
+// region is a miss that compiles, every subsequent identical region is a
+// hit, and each region's result matches the sequential reference exactly.
+func TestPlannedLifecycle(t *testing.T) {
+	const n, regions = 4096, 6
+	for _, threads := range []int{1, 3, 4} {
+		ops := genStream(17, threads, n, 24)
+		out := make([]float64, n)
+		want := make([]float64, n)
+		r := NewPlanned(core.NewAtomic(out, threads), out, Config{})
+		team := par.NewTeam(threads)
+		for reg := 0; reg < regions; reg++ {
+			runRegion(team, r, ops)
+			accumulate(want, ops)
+			if d := num.MaxAbsDiff(out, want); d != 0 {
+				t.Fatalf("threads=%d region=%d: diff %v (mode %s)", threads, reg, d, r.Stats().Mode)
+			}
+			s := r.Stats()
+			if reg == 0 {
+				if s.Mode != "execute" || s.Misses != 1 || s.Compiles != 1 {
+					t.Fatalf("threads=%d after record region: %+v", threads, s)
+				}
+			} else if s.Hits != reg {
+				t.Fatalf("threads=%d region=%d: hits=%d, want %d", threads, reg, s.Hits, reg)
+			}
+		}
+		s := r.Stats()
+		if s.Invalidations != 0 {
+			t.Errorf("threads=%d: %d invalidations on identical regions", threads, s.Invalidations)
+		}
+		if threads > 1 && s.Foreign == 0 {
+			t.Errorf("threads=%d: plan routed no foreign elements; streams should cross ownership ranges", threads)
+		}
+		if s.Epoch == 0 {
+			t.Errorf("threads=%d: plan epoch not stamped from the team", threads)
+		}
+		team.Close()
+	}
+}
+
+// TestPlannedEquivalenceInnerStrategies checks the wrapper against each
+// inner strategy run bare on the same stream: with exact integer values
+// the results must be bitwise identical, for multiple regions.
+func TestPlannedEquivalenceInnerStrategies(t *testing.T) {
+	const n, threads, regions = 3000, 4, 4
+	ops := genStream(71, threads, n, 30)
+	inners := map[string]func(out []float64) core.Reducer[float64]{
+		"atomic":      func(out []float64) core.Reducer[float64] { return core.NewAtomic(out, threads) },
+		"dense":       func(out []float64) core.Reducer[float64] { return core.NewDense(out, threads) },
+		"block-cas":   func(out []float64) core.Reducer[float64] { return core.NewBlock(out, threads, 256, core.BlockCAS) },
+		"keeper":      func(out []float64) core.Reducer[float64] { return core.NewKeeper(out, threads) },
+		"compensated": func(out []float64) core.Reducer[float64] { return core.NewCompensated(out, threads) },
+	}
+	for name, mk := range inners {
+		outBare := make([]float64, n)
+		outPlan := make([]float64, n)
+		teamA := par.NewTeam(threads)
+		teamB := par.NewTeam(threads)
+		bare := mk(outBare)
+		planned := NewPlanned(mk(outPlan), outPlan, Config{Kahan: name == "compensated"})
+		for reg := 0; reg < regions; reg++ {
+			runRegion(teamA, bare, ops)
+			runRegion(teamB, planned, ops)
+			for i := range outBare {
+				if math.Float64bits(outBare[i]) != math.Float64bits(outPlan[i]) {
+					t.Fatalf("plan+%s region %d: out[%d] bare=%x plan=%x", name, reg, i,
+						math.Float64bits(outBare[i]), math.Float64bits(outPlan[i]))
+				}
+			}
+		}
+		if s := planned.Stats(); s.Hits != regions-1 {
+			t.Errorf("plan+%s: hits=%d, want %d", name, s.Hits, regions-1)
+		}
+		teamA.Close()
+		teamB.Close()
+	}
+}
+
+// TestPlannedDeterminism runs the same random-float stream through two
+// independent planned reducers (and through serial vs team finalize) and
+// demands bitwise-identical results: the executor's canonical order —
+// owned in place, then exchange lists in ascending source tid and
+// program order — must not depend on scheduling.
+func TestPlannedDeterminism(t *testing.T) {
+	const n, threads, regions = 2048, 4, 3
+	ops := genStream(29, threads, n, 24)
+	rng := rand.New(rand.NewSource(5))
+	for t2 := range ops {
+		for o := range ops[t2] {
+			for j := range ops[t2][o].vals {
+				ops[t2][o].vals[j] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(9)-4))
+			}
+		}
+	}
+
+	// Dense inner: its record region is deterministic too (fixed-order
+	// finalize merge), so whole-array bitwise comparison is meaningful.
+	run := func(serial bool) []float64 {
+		out := make([]float64, n)
+		r := NewPlanned(core.NewDense(out, threads), out, Config{})
+		team := par.NewTeam(threads)
+		defer team.Close()
+		for reg := 0; reg < regions; reg++ {
+			team.Run(func(tid int) {
+				acc := r.Private(tid)
+				bacc := core.AsBulk(acc)
+				for _, op := range ops[tid] {
+					switch {
+					case op.add:
+						bacc.Add(op.base, op.vals[0])
+					case op.idx == nil:
+						bacc.AddN(op.base, op.vals)
+					default:
+						bacc.Scatter(op.idx, op.vals)
+					}
+				}
+				acc.Done()
+			})
+			if serial {
+				r.Finalize()
+			} else {
+				r.FinalizeWith(team)
+			}
+		}
+		return out
+	}
+
+	a1, a2, aSerial := run(false), run(false), run(true)
+	for i := range a1 {
+		if math.Float64bits(a1[i]) != math.Float64bits(a2[i]) {
+			t.Fatalf("execute regions not run-to-run deterministic at out[%d]: %x vs %x",
+				i, math.Float64bits(a1[i]), math.Float64bits(a2[i]))
+		}
+		if math.Float64bits(a1[i]) != math.Float64bits(aSerial[i]) {
+			t.Fatalf("serial and team finalize diverge at out[%d]: %x vs %x",
+				i, math.Float64bits(a1[i]), math.Float64bits(aSerial[i]))
+		}
+	}
+}
+
+// TestPlannedInvalidationRecovers deviates mid-plan and checks the full
+// recovery arc: the deviating region is still exactly correct, the plan
+// is dropped, the next region re-records the new pattern, and the one
+// after executes it.
+func TestPlannedInvalidationRecovers(t *testing.T) {
+	const n, threads = 2048, 3
+	ops := genStream(83, threads, n, 20)
+	out := make([]float64, n)
+	want := make([]float64, n)
+	r := NewPlanned(core.NewAtomic(out, threads), out, Config{})
+	team := par.NewTeam(threads)
+	defer team.Close()
+
+	check := func(stage string) {
+		t.Helper()
+		if d := num.MaxAbsDiff(out, want); d != 0 {
+			t.Fatalf("%s: diff %v", stage, d)
+		}
+	}
+
+	runRegion(team, r, ops)
+	accumulate(want, ops)
+	check("record")
+	runRegion(team, r, ops)
+	accumulate(want, ops)
+	check("execute")
+
+	// Mutate thread 1 mid-stream: change a scatter index (or run base) in
+	// its middle op, leaving a verified prefix in the exchange buffer.
+	mut := make([][]bulkOp, threads)
+	copy(mut, ops)
+	mut[1] = append([]bulkOp(nil), ops[1]...)
+	mo := mut[1][len(mut[1])/2]
+	switch {
+	case mo.add:
+		mo.base = (mo.base + 1) % n
+	case mo.idx == nil:
+		mo.base = (mo.base + 1) % (n - len(mo.vals))
+	default:
+		mo.idx = append([]int32(nil), mo.idx...)
+		mo.idx[len(mo.idx)/2] = (mo.idx[len(mo.idx)/2] + 1) % int32(n)
+	}
+	mut[1][len(mut[1])/2] = mo
+
+	runRegion(team, r, mut)
+	accumulate(want, mut)
+	check("deviating region")
+	s := r.Stats()
+	if s.Invalidations != 1 || s.Mode != "record" {
+		t.Fatalf("after deviation: %+v", s)
+	}
+
+	runRegion(team, r, mut) // re-record the new pattern
+	accumulate(want, mut)
+	check("re-record")
+	runRegion(team, r, mut) // and execute it
+	accumulate(want, mut)
+	check("re-execute")
+	s = r.Stats()
+	if s.Compiles != 2 || s.Hits != 2 {
+		t.Fatalf("after recovery: %+v", s)
+	}
+}
+
+// TestPlannedMissingThread checks the participation rule: a recorded
+// thread sitting a region out (or sending a short stream) invalidates
+// the plan but never corrupts the result.
+func TestPlannedMissingThread(t *testing.T) {
+	const n, threads = 1024, 3
+	ops := genStream(91, threads, n, 12)
+	out := make([]float64, n)
+	want := make([]float64, n)
+	r := NewPlanned(core.NewAtomic(out, threads), out, Config{})
+	team := par.NewTeam(threads)
+	defer team.Close()
+
+	runRegion(team, r, ops)
+	accumulate(want, ops)
+
+	// Thread 1 skips the region entirely.
+	team.Run(func(tid int) {
+		if tid == 1 {
+			return
+		}
+		acc := r.Private(tid)
+		bacc := core.AsBulk(acc)
+		for _, op := range ops[tid] {
+			switch {
+			case op.add:
+				bacc.Add(op.base, op.vals[0])
+			case op.idx == nil:
+				bacc.AddN(op.base, op.vals)
+			default:
+				bacc.Scatter(op.idx, op.vals)
+			}
+		}
+		acc.Done()
+	})
+	r.FinalizeWith(team)
+	accumulate(want, [][]bulkOp{ops[0], nil, ops[2]})
+	if d := num.MaxAbsDiff(out, want); d != 0 {
+		t.Fatalf("absent-thread region: diff %v", d)
+	}
+	if s := r.Stats(); s.Invalidations != 1 || s.Mode != "record" {
+		t.Fatalf("after absent thread: %+v", s)
+	}
+
+	// Short stream: thread 1 participates but sends only half its ops.
+	runRegion(team, r, ops) // re-record
+	accumulate(want, ops)
+	short := make([][]bulkOp, threads)
+	copy(short, ops)
+	short[1] = ops[1][:len(ops[1])/2]
+	runRegion(team, r, short)
+	accumulate(want, short)
+	if d := num.MaxAbsDiff(out, want); d != 0 {
+		t.Fatalf("short-stream region: diff %v", d)
+	}
+	if s := r.Stats(); s.Invalidations != 2 {
+		t.Fatalf("after short stream: %+v", s)
+	}
+}
+
+// TestPlannedPassthroughDegrade drives consecutive invalidations past
+// the limit and checks the wrapper settles into passthrough — still
+// correct, no further compiles.
+func TestPlannedPassthroughDegrade(t *testing.T) {
+	const n, threads = 512, 2
+	out := make([]float64, n)
+	want := make([]float64, n)
+	r := NewPlanned(core.NewAtomic(out, threads), out, Config{MaxInvalidations: 2})
+	team := par.NewTeam(threads)
+	defer team.Close()
+
+	// Every region uses a fresh stream, so every executor region deviates.
+	for seed := int64(0); seed < 8; seed++ {
+		ops := genStream(100+seed, threads, n, 10)
+		runRegion(team, r, ops)
+		accumulate(want, ops)
+		if d := num.MaxAbsDiff(out, want); d != 0 {
+			t.Fatalf("seed %d: diff %v (mode %s)", seed, d, r.Stats().Mode)
+		}
+	}
+	s := r.Stats()
+	if s.Mode != "passthrough" {
+		t.Fatalf("pattern-unstable workload did not degrade: %+v", s)
+	}
+	if s.Invalidations != 2 {
+		t.Errorf("invalidations=%d, want 2 (the configured limit)", s.Invalidations)
+	}
+	compiles := s.Compiles
+	ops := genStream(200, threads, n, 10)
+	runRegion(team, r, ops)
+	accumulate(want, ops)
+	if d := num.MaxAbsDiff(out, want); d != 0 {
+		t.Fatalf("passthrough region: diff %v", d)
+	}
+	if s = r.Stats(); s.Compiles != compiles {
+		t.Errorf("passthrough mode still compiling: %+v", s)
+	}
+}
+
+// TestPlannedHitResetsInvalidationStreak: an executed hit between two
+// deviations must reset the consecutive-invalidation counter, so an
+// occasionally-changing pattern keeps replanning instead of degrading.
+func TestPlannedHitResetsInvalidationStreak(t *testing.T) {
+	const n, threads = 512, 2
+	out := make([]float64, n)
+	want := make([]float64, n)
+	r := NewPlanned(core.NewAtomic(out, threads), out, Config{MaxInvalidations: 2})
+	team := par.NewTeam(threads)
+	defer team.Close()
+
+	run := func(ops [][]bulkOp) {
+		runRegion(team, r, ops)
+		accumulate(want, ops)
+		if d := num.MaxAbsDiff(out, want); d != 0 {
+			t.Fatalf("diff %v (mode %s)", d, r.Stats().Mode)
+		}
+	}
+	// pattern A: record, hit, then deviate; repeat with fresh patterns —
+	// each cycle scores a hit before its deviation, so the streak resets.
+	for seed := int64(0); seed < 3; seed++ {
+		a := genStream(300+2*seed, threads, n, 10)
+		b := genStream(301+2*seed, threads, n, 10)
+		run(a) // record A
+		run(a) // hit
+		run(b) // deviate (invalidation #seed+1)
+	}
+	s := r.Stats()
+	if s.Mode == "passthrough" {
+		t.Fatalf("streak with interleaved hits degraded to passthrough: %+v", s)
+	}
+	if s.Invalidations != 3 || s.Hits != 3 {
+		t.Errorf("stats: %+v, want 3 invalidations / 3 hits", s)
+	}
+}
+
+// TestPlannedTelemetry checks the plan counters and compile histogram
+// land in the recorder, and memory accounting reports a live footprint.
+func TestPlannedTelemetry(t *testing.T) {
+	const n, threads, regions = 2048, 2, 4
+	ops := genStream(55, threads, n, 16)
+	out := make([]float64, n)
+	r := NewPlanned(core.NewAtomic(out, threads), out, Config{})
+	rec := telemetry.NewRecorder(r.Name(), threads)
+	r.Instrument(rec)
+	team := par.NewTeam(threads)
+	defer team.Close()
+	for reg := 0; reg < regions; reg++ {
+		runRegion(team, r, ops)
+	}
+	snap := rec.Snapshot()
+	if got := snap.Get(telemetry.PlanMisses); got != 1 {
+		t.Errorf("plan-misses = %d, want 1", got)
+	}
+	if got := snap.Get(telemetry.PlanHits); got != regions-1 {
+		t.Errorf("plan-hits = %d, want %d", got, regions-1)
+	}
+	if got := snap.Get(telemetry.PlanInvalidations); got != 0 {
+		t.Errorf("plan-invalidations = %d, want 0", got)
+	}
+	if h := rec.Hist(telemetry.PlanCompile); h.Count != 1 {
+		t.Errorf("plan-compile-latency count = %d, want 1 (every compile observed)", h.Count)
+	}
+	// Executor regions must keep reporting traffic despite the bypass.
+	if got := snap.Get(telemetry.BulkElems); got == 0 {
+		t.Error("bulk-elems = 0; executor accessors stopped counting")
+	}
+	if r.Bytes() == 0 {
+		t.Error("Bytes = 0 with a live plan; tapes and plan arrays are not accounted")
+	}
+	if r.Name() != "plan+atomic" {
+		t.Errorf("Name = %q", r.Name())
+	}
+
+	// Detached: executor regions must keep working with nil shards.
+	r.Instrument(nil)
+	runRegion(team, r, ops)
+	if got := rec.Snapshot().Get(telemetry.PlanHits); got != regions-1 {
+		t.Errorf("detached region still bumped plan-hits: %d", got)
+	}
+}
+
+// TestPlannedBytesSteadyState: executing the same plan repeatedly must
+// not grow the footprint (capacity-retention rule).
+func TestPlannedBytesSteadyState(t *testing.T) {
+	const n, threads = 2048, 3
+	ops := genStream(63, threads, n, 16)
+	out := make([]float64, n)
+	r := NewPlanned(core.NewAtomic(out, threads), out, Config{})
+	team := par.NewTeam(threads)
+	defer team.Close()
+	runRegion(team, r, ops)
+	runRegion(team, r, ops)
+	b1, p1 := r.Bytes(), r.PeakBytes()
+	if b1 == 0 {
+		t.Fatal("no footprint after compile")
+	}
+	for reg := 0; reg < 4; reg++ {
+		runRegion(team, r, ops)
+	}
+	if r.Bytes() != b1 || r.PeakBytes() != p1 {
+		t.Errorf("steady-state execute grew memory: bytes %d -> %d, peak %d -> %d",
+			b1, r.Bytes(), p1, r.PeakBytes())
+	}
+}
+
+// FuzzPlannedStream drives fuzzer-invented two-thread streams through
+// record, execute, and a mutated (mid-stream invalidating) region, and
+// cross-checks every region against the sequential reference.
+func FuzzPlannedStream(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 250, 250, 7}, []byte{9, 9, 9})
+	f.Add([]byte{0}, []byte{255, 254, 253, 252})
+	f.Add([]byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		const n = 256
+		mkOps := func(raw []byte) []bulkOp {
+			var ops []bulkOp
+			for p := 0; p+1 < len(raw); p += 2 {
+				i, v := int(raw[p]), float64(int(raw[p+1])%7-3)
+				switch raw[p] % 3 {
+				case 0:
+					ops = append(ops, bulkOp{add: true, base: i, vals: []float64{v}})
+				case 1:
+					m := 1 + int(raw[p+1])%8
+					if i+m > n {
+						i = n - m
+					}
+					vals := make([]float64, m)
+					for j := range vals {
+						vals[j] = v
+					}
+					ops = append(ops, bulkOp{base: i, vals: vals})
+				default:
+					ops = append(ops, bulkOp{idx: []int32{int32(i), int32((i * 7) % n)}, vals: []float64{v, v + 1}})
+				}
+			}
+			return ops
+		}
+		ops := [][]bulkOp{mkOps(rawA), mkOps(rawB)}
+		out := make([]float64, n)
+		want := make([]float64, n)
+		r := NewPlanned(core.NewAtomic(out, 2), out, Config{})
+		team := par.NewTeam(2)
+		defer team.Close()
+
+		for reg := 0; reg < 2; reg++ {
+			runRegion(team, r, ops)
+			accumulate(want, ops)
+			for i := range out {
+				if out[i] != want[i] {
+					t.Fatalf("region %d: out[%d] = %v, want %v", reg, i, out[i], want[i])
+				}
+			}
+		}
+		// Mutated region: append one op to thread 0 — a mid-stream
+		// deviation after a fully verified prefix.
+		mut := [][]bulkOp{
+			append(append([]bulkOp(nil), ops[0]...), bulkOp{add: true, base: 3, vals: []float64{2}}),
+			ops[1],
+		}
+		runRegion(team, r, mut)
+		accumulate(want, mut)
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("mutated region: out[%d] = %v, want %v", i, out[i], want[i])
+			}
+		}
+	})
+}

@@ -57,8 +57,12 @@ func ReadMatrixMarket[T num.Float](r io.Reader) (*CSR[T], error) {
 		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
 			return nil, fmt.Errorf("sparse: bad MatrixMarket size line %q: %w", line, err)
 		}
-		// Column ids are stored as int32 and nnz bounds allocations.
-		const maxDim = 1 << 31
+		// Zero-based row/column ids are stored as int32, and CSR
+		// conversion allocates rows+1 row pointers, so a dimension of
+		// 2^31 (whose last zero-based id still fits) would let a
+		// few-byte header demand a multi-gigabyte allocation: cap both
+		// dimensions strictly below int32 overflow.
+		const maxDim = 1<<31 - 1
 		if rows < 0 || cols < 0 || nnz < 0 || rows > maxDim || cols > maxDim {
 			return nil, fmt.Errorf("sparse: unreasonable MatrixMarket size %dx%d nnz %d", rows, cols, nnz)
 		}

@@ -130,6 +130,111 @@ func TestMatrixMarketCommentsAndBlankLines(t *testing.T) {
 	}
 }
 
+func TestMatrixMarketCommentOnlyBody(t *testing.T) {
+	// A header followed by nothing but comments (the last one without a
+	// trailing newline) must report a missing size line, not hang or
+	// panic.
+	for name, src := range map[string]string{
+		"comments newline":    "%%MatrixMarket matrix coordinate real general\n% a\n% b\n",
+		"comments eof":        "%%MatrixMarket matrix coordinate real general\n% a\n% trailing comment, no newline",
+		"blank then comments": "%%MatrixMarket matrix coordinate real general\n\n\n% only this\n",
+	} {
+		_, err := ReadMatrixMarket[float64](strings.NewReader(src))
+		if err == nil || !strings.Contains(err.Error(), "size line") {
+			t.Errorf("%s: err = %v, want missing-size-line error", name, err)
+		}
+	}
+}
+
+func TestMatrixMarketPatternSymmetric(t *testing.T) {
+	// Pattern + symmetric combine: unit values AND mirrored expansion,
+	// with diagonal entries stored once.
+	src := `%%MatrixMarket matrix coordinate pattern symmetric
+3 3 3
+1 1
+2 1
+3 2
+`
+	a, err := ReadMatrixMarket[float64](strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 5 { // 1 diagonal + 2 mirrored pairs
+		t.Errorf("NNZ=%d, want 5", a.NNZ())
+	}
+	d := denseOf(a)
+	for _, at := range [][2]int{{0, 0}, {1, 0}, {0, 1}, {2, 1}, {1, 2}} {
+		if d[at[0]][at[1]] != 1 {
+			t.Errorf("entry %v = %v, want unit", at, d[at[0]][at[1]])
+		}
+	}
+	if d[2][2] != 0 {
+		t.Errorf("phantom diagonal entry: %v", d[2][2])
+	}
+}
+
+func TestMatrixMarketHugeSizeRejected(t *testing.T) {
+	// Dimensions at or past int32 overflow must be rejected up front:
+	// zero-based ids are stored as int32 and CSR conversion allocates
+	// rows+1 pointers, so accepting 2^31 would turn a 50-byte file into
+	// a multi-gigabyte allocation.
+	for name, size := range map[string]string{
+		"rows 2^31":     "2147483648 10 1",
+		"cols 2^31":     "10 2147483648 1",
+		"rows > int64":  "99999999999999999999 10 1",
+		"negative rows": "-5 10 1",
+		"negative nnz":  "10 10 -1",
+	} {
+		src := "%%MatrixMarket matrix coordinate real general\n" + size + "\n1 1 1.0\n"
+		if _, err := ReadMatrixMarket[float64](strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted size line %q", name, size)
+		}
+	}
+	// The accept side: a large-but-sane dimension still parses. (The
+	// maximal legal dimension 2^31-1 would allocate 16 GB of row
+	// pointers during CSR conversion, so it is not exercised here.)
+	src := "%%MatrixMarket matrix coordinate real general\n1000000 1000000 1\n1000000 1000000 2.5\n"
+	a, err := ReadMatrixMarket[float64](strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 1000000 || a.NNZ() != 1 {
+		t.Errorf("shape %dx%d nnz %d", a.Rows, a.Cols, a.NNZ())
+	}
+}
+
+func TestMatrixMarketIndexOverflowEntry(t *testing.T) {
+	// A 1-based index that overflows int64 must fail the entry parse
+	// (not wrap around into range).
+	src := "%%MatrixMarket matrix coordinate real general\n10 10 1\n99999999999999999999 1 1.0\n"
+	_, err := ReadMatrixMarket[float64](strings.NewReader(src))
+	if err == nil || !strings.Contains(err.Error(), "indices") {
+		t.Errorf("err = %v, want bad-indices error", err)
+	}
+}
+
+func TestMatrixMarketTruncation(t *testing.T) {
+	// EOF variants around the entry section.
+	for name, src := range map[string]string{
+		"eof after size":     "%%MatrixMarket matrix coordinate real general\n5 5 2\n",
+		"eof mid entries":    "%%MatrixMarket matrix coordinate real general\n5 5 3\n1 1 1.0\n2 2 2.0\n",
+		"partial last entry": "%%MatrixMarket matrix coordinate real general\n5 5 2\n1 1 1.0\n2 2",
+	} {
+		if _, err := ReadMatrixMarket[float64](strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// A complete final entry without a trailing newline is legal.
+	src := "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n2 2 2.0"
+	a, err := ReadMatrixMarket[float64](strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 2 {
+		t.Errorf("NNZ=%d, want 2", a.NNZ())
+	}
+}
+
 func TestMatrixMarketNeverPanicsOnGarbage(t *testing.T) {
 	f := func(junk string) bool {
 		// Any input may produce an error but must never panic.

@@ -58,6 +58,20 @@ func RunTMulVecSched[T num.Float](team *spray.Team, r spray.Reducer[T], a *CSR[T
 		})
 }
 
+// RunTMulVecIters applies y += Aᵀ·x for iters rounds through one
+// Reducer — the iterative-solver shape (power iteration, PageRank,
+// repeated SpMV in MKL's inspector/executor benchmarks) where the matrix
+// structure, and therefore every region's scatter index pattern, is
+// identical across rounds. That makes it the amortization workload for
+// the plan-compiled wrapper: round 1 records and compiles, rounds 2..N
+// execute race-free, and the one-time inspection cost divides away as
+// iters grows.
+func RunTMulVecIters[T num.Float](team *spray.Team, r spray.Reducer[T], a *CSR[T], x []T, iters int) {
+	for it := 0; it < iters; it++ {
+		RunTMulVec(team, r, a, x)
+	}
+}
+
 // RunTMulVecEach is the element-wise form of RunTMulVec — one Add per
 // nonzero, the paper's original loop shape. Kept as the reference (and
 // benchmark baseline) for the bulk path.

@@ -35,6 +35,13 @@ const (
 	// the binned Scatter path pays instead of per-element work. Sampled
 	// 1-in-N flushes.
 	FlushLatency
+	// PlanCompile is the latency of compiling one execution plan from a
+	// recorded region (ownership partitioning plus exchange-list
+	// construction). Compilation is rare — once per record region — so
+	// every compile is observed when instrumented, making the one-time
+	// inspection cost the amortization curve divides away directly
+	// readable from the histogram.
+	PlanCompile
 
 	// NumHKinds sizes histogram shard blocks and snapshots.
 	NumHKinds
@@ -45,6 +52,7 @@ var hkindNames = [NumHKinds]string{
 	ClaimLatency: "claim-latency",
 	KeeperDwell:  "keeper-dwell",
 	FlushLatency: "flush-latency",
+	PlanCompile:  "plan-compile-latency",
 }
 
 // String returns the stable external name of the latency kind.

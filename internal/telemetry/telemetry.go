@@ -81,6 +81,18 @@ const (
 	// TraceDropped counts span events evicted from a full trace ring
 	// buffer (oldest-first) before they could be exported.
 	TraceDropped
+	// PlanHits counts parallel regions the plan-compiled reducer executed
+	// through its compiled plan (race-free owned loops + exchange merge,
+	// inner strategy bypassed).
+	PlanHits
+	// PlanMisses counts regions the plan-compiled reducer ran in record
+	// mode (forwarding to the inner strategy while capturing the update
+	// stream) — the regions that pay the inspection cost.
+	PlanMisses
+	// PlanInvalidations counts executor regions that detected a deviation
+	// from the recorded index pattern (unseen index, changed op stream)
+	// and fell back to record mode for the next region.
+	PlanInvalidations
 
 	// NumKinds is the number of counter kinds; it sizes shards and
 	// snapshots.
@@ -88,23 +100,26 @@ const (
 )
 
 var kindNames = [NumKinds]string{
-	Updates:          "updates",
-	AddNRuns:         "addn-runs",
-	ScatterRuns:      "scatter-runs",
-	BulkElems:        "bulk-elems",
-	CASRetries:       "cas-retries",
-	BlockClaims:      "block-claims",
-	BlockFallbacks:   "block-fallbacks",
-	PoolReuses:       "pool-reuses",
-	KeeperOwned:      "keeper-owned",
-	KeeperForeign:    "keeper-foreign",
-	KeeperDrained:    "keeper-drained",
-	Entries:          "entries",
-	Escalations:      "escalations",
-	ScatterCoalesced: "scatter-coalesced",
-	BinFlushes:       "bin-flushes",
-	KeeperMidDrains:  "keeper-midregion-drains",
-	TraceDropped:     "trace-dropped",
+	Updates:           "updates",
+	AddNRuns:          "addn-runs",
+	ScatterRuns:       "scatter-runs",
+	BulkElems:         "bulk-elems",
+	CASRetries:        "cas-retries",
+	BlockClaims:       "block-claims",
+	BlockFallbacks:    "block-fallbacks",
+	PoolReuses:        "pool-reuses",
+	KeeperOwned:       "keeper-owned",
+	KeeperForeign:     "keeper-foreign",
+	KeeperDrained:     "keeper-drained",
+	Entries:           "entries",
+	Escalations:       "escalations",
+	ScatterCoalesced:  "scatter-coalesced",
+	BinFlushes:        "bin-flushes",
+	KeeperMidDrains:   "keeper-midregion-drains",
+	TraceDropped:      "trace-dropped",
+	PlanHits:          "plan-hits",
+	PlanMisses:        "plan-misses",
+	PlanInvalidations: "plan-invalidations",
 }
 
 // String returns the stable external name of the counter kind (used in
@@ -149,11 +164,15 @@ const shardPayload = int(NumKinds)*8 + int(NumHKinds)*(HistBuckets+3)*8 + int(Nu
 type Shard struct {
 	c [NumKinds]atomic.Uint64
 	h [NumHKinds]histSlot
+	// The pad sits before the last field: a zero-length array at the end
+	// of a struct would itself be padded (to keep past-the-end pointers
+	// out of the next object), breaking the 128-byte rounding exactly
+	// when the payload already is a multiple.
+	_ [(-shardPayload) & 127]byte
 	// tick is the sampling decimation state per latency kind. It is a
 	// plain counter: only the owning thread touches it, and snapshots
 	// never read it.
 	tick [NumHKinds]uint64
-	_    [(-shardPayload) & 127]byte
 }
 
 // Inc adds one to counter k.

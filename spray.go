@@ -33,6 +33,7 @@ import (
 	"spray/internal/core"
 	"spray/internal/num"
 	"spray/internal/par"
+	"spray/internal/plan"
 	"spray/internal/scatter"
 )
 
@@ -136,7 +137,13 @@ func ParallelFor(t *Team, lo, hi int, s Schedule, body func(tid, from, to int)) 
 func New[T Value](st Strategy, out []T, threads int) Reducer[T] {
 	r := newInner(st, out, threads)
 	if st.binned {
-		return core.NewBinned(r, out, scatter.Config{})
+		r = core.NewBinned(r, out, scatter.Config{})
+	}
+	if st.planned {
+		// The plan wrapper goes outermost so record mode captures the
+		// stream exactly as the inner stack would consume it. A
+		// compensated core keeps Kahan accuracy in execute mode.
+		return plan.NewPlanned(r, out, plan.Config{Kahan: st.kind == kindCompensated})
 	}
 	return r
 }

@@ -34,9 +34,10 @@ const DefaultBlockSize = 1024
 // select the scheme from configuration, the paper's performance
 // portability argument.
 type Strategy struct {
-	kind   kind
-	param  int // block size for block-*, node degree for btree
-	binned bool
+	kind    kind
+	param   int // block size for block-*, node degree for btree
+	binned  bool
+	planned bool
 }
 
 // Builtin selects the model of the compiler-provided OpenMP reduction
@@ -112,6 +113,25 @@ func Binned(inner Strategy) Strategy {
 	return inner
 }
 
+// Planned wraps any strategy with the plan-compiled inspector–executor:
+// the first region records the per-thread update stream through the
+// inner strategy, then compiles it into thread-owned segments plus
+// cross-thread exchange lists; subsequent identical regions bypass the
+// inner strategy entirely and run race-free owned loops with a
+// deterministic exchange merge at finalize. A region that deviates from
+// the recorded pattern (unseen index, reshaped batch, missing thread) is
+// completed correctly, invalidates the plan, and triggers a re-record;
+// repeated invalidation degrades to a permanent passthrough. Prints and
+// parses as "plan+<inner>", e.g. "plan+atomic" or "plan+binned+keeper".
+// Worth it for iterative workloads (tMV time loops, FEM assembly, conv
+// backprop) that replay one index pattern many times — the inspection
+// cost amortizes like MKL's inspector/executor; a pattern that changes
+// every region only pays recording overhead.
+func Planned(inner Strategy) Strategy {
+	inner.planned = true
+	return inner
+}
+
 func defaultBlock(b int) int {
 	if b <= 0 {
 		return DefaultBlockSize
@@ -122,6 +142,11 @@ func defaultBlock(b int) int {
 // String renders the strategy in the paper's naming convention, e.g.
 // "block-cas-1024" or "binned+atomic".
 func (s Strategy) String() string {
+	if s.planned {
+		base := s
+		base.planned = false
+		return "plan+" + base.String()
+	}
 	if s.binned {
 		base := s
 		base.binned = false
@@ -164,6 +189,16 @@ func (s Strategy) String() string {
 // and B-tree degrees are optional suffixes: "block-cas" means
 // "block-cas-1024", "btree" uses the default degree.
 func ParseStrategy(s string) (Strategy, error) {
+	if rest, ok := strings.CutPrefix(s, "plan+"); ok {
+		inner, err := ParseStrategy(rest)
+		if err != nil {
+			return Strategy{}, err
+		}
+		if inner.planned {
+			return Strategy{}, fmt.Errorf("spray: strategy %q stacks the plan wrapper twice", s)
+		}
+		return Planned(inner), nil
+	}
 	if rest, ok := strings.CutPrefix(s, "binned+"); ok {
 		inner, err := ParseStrategy(rest)
 		if err != nil {
