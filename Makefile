@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci build vet lint test race race-telemetry bce-audit bench-smoke overhead-smoke bench-bulk bench-observability bench-gate bench-scatter clean
+.PHONY: ci build vet lint test race race-telemetry bce-audit bench-smoke overhead-smoke obs-smoke bench-bulk bench-observability bench-gate bench-scatter clean
 
 # ci is the tier-1 gate plus cheap benchmark compile-and-run checks,
-# including the telemetry-off overhead guard and the benchmark
-# regression gate.
-ci: vet lint build test race race-telemetry bce-audit bench-smoke overhead-smoke bench-gate bench-scatter
+# including the telemetry-off overhead guard, the live-metrics smoke and
+# the benchmark regression gate.
+ci: vet lint build test race race-telemetry bce-audit bench-smoke overhead-smoke obs-smoke bench-gate bench-scatter
 
 build:
 	$(GO) build ./...
@@ -58,9 +58,11 @@ race:
 # race-telemetry focuses the race detector on the observability layer
 # and the concurrent scatter machinery: counter shards, region timing,
 # latency histograms, trace rings, panic wrapping, the export registry,
-# the keeper mailbox publish/drain protocol, and the binned wrapper.
+# the keeper mailbox publish/drain protocol, the binned wrapper, and the
+# diagnostics subsystem (Prometheus rendering, flight recorder, anomaly
+# detector, event rings, spraymon digestion).
 race-telemetry:
-	$(GO) test -race -run 'Telemetry|Instrument|Timing|WorkerPanic|Concurrent|Trace|Hist|Sample|Latency|Mailbox|Drain|Binned' ./internal/telemetry ./internal/par ./internal/core ./internal/memtrack ./internal/scatter ./internal/experiments .
+	$(GO) test -race -short -run 'Telemetry|Instrument|Timing|WorkerPanic|Concurrent|Trace|Hist|Sample|Latency|Mailbox|Drain|Binned|Prom|Flight|Anomal|Event|Monitor|Diagnostics|ServeMetrics|CASStorm|ObsOff' ./internal/telemetry ./internal/par ./internal/core ./internal/memtrack ./internal/scatter ./internal/experiments ./internal/obs .
 
 # bench-smoke proves the bulk benchmarks run end to end without timing
 # anything meaningful (100 iterations per case).
@@ -69,10 +71,19 @@ bench-smoke:
 
 # overhead-smoke asserts the telemetry-off budget (the gated accessor must
 # stay within 2% of an ungated replica) and exercises the off/on conv
-# benchmark once.
+# benchmarks once — both the telemetry layer and the diagnostics layer
+# (flight recorder + anomaly poller) on top of it.
 overhead-smoke:
 	$(GO) test -run TestTelemetryOffOverhead -count 1 ./internal/core
-	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverheadConv' -benchtime 20x .
+	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverheadConv|BenchmarkObsOffOverheadConv' -benchtime 20x .
+
+# obs-smoke is the end-to-end live-metrics check: build spraybulk, start
+# it with -metrics-http on an ephemeral port, scrape /metrics until the
+# diagnostics poller has recorded flight entries, validate the exposition
+# with the in-tree Prometheus parser, check the flight-dump endpoint, and
+# kill the process. Runs as a Go test so it needs no shell plumbing.
+obs-smoke:
+	$(GO) test -run TestObsSmokeSpraybulkScrape -count 1 -v ./internal/obs
 
 # bench-bulk produces the each-vs-bulk comparison tables and
 # BENCH_bulk.json at a size that finishes in a few minutes.

@@ -34,11 +34,12 @@ func main() {
 		repeats    = flag.Int("repeats", 3, "samples per configuration")
 		minTime    = flag.Duration("min-time", 100*time.Millisecond, "minimum time per sample")
 		metrics    = flag.Bool("metrics", false, "instrument the conv figures: print a telemetry region report per measured point (stderr) and attach counters to CSV-adjacent data")
-		metricsWeb = flag.String("metrics-http", "", "serve live telemetry on this address while running; implies -metrics")
 		tracePath  = flag.String("trace", "", "record span timelines for the conv figures and write them as Chrome trace-event JSON to this path")
 		prof       cliutil.Profiling
+		met        cliutil.Metrics
 	)
 	prof.AddFlags(flag.CommandLine)
+	met.AddFlags(flag.CommandLine)
 	flag.Parse()
 	stopProf, err := prof.Start()
 	fatalIf(err)
@@ -51,11 +52,9 @@ func main() {
 
 	fmt.Printf("spray evaluation — GOMAXPROCS=%d, paper-scale=%v\n\n", runtime.GOMAXPROCS(0), *paper)
 
-	if *metricsWeb != "" {
-		telemetry.Publish("spray")
-		addr, err := telemetry.Serve(*metricsWeb)
-		fatalIf(err)
-		fmt.Fprintf(os.Stderr, "telemetry: live counters on http://%s/debug/vars\n", addr)
+	serving, err := met.Start()
+	fatalIf(err)
+	if serving {
 		*metrics = true
 	}
 	var onReport func(label string, rep spray.RegionReport)
@@ -139,6 +138,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s (%d timelines, %d dropped events)\n", *tracePath, sink.Len(), sink.Dropped())
 	}
 	fatalIf(stopProf())
+	met.Finish()
 }
 
 // scaleMatrix generates the paper matrix (scale 1) or a proportionally

@@ -50,11 +50,12 @@ func main() {
 		minTime    = flag.Duration("min-time", 100*time.Millisecond, "minimum time per sample")
 		jsonPath   = flag.String("json", "BENCH_bulk.json", "write results as JSON to this path (empty = skip)")
 		metrics    = flag.Bool("metrics", false, "instrument every run: print a telemetry region report per measured point and attach the counters to the JSON output")
-		metricsWeb = flag.String("metrics-http", "", "serve live telemetry on this address (e.g. localhost:6060) while running; implies -metrics")
 		tracePath  = flag.String("trace", "", "record span timelines and write them as Chrome trace-event JSON to this path (chrome://tracing, ui.perfetto.dev)")
 		prof       cliutil.Profiling
+		met        cliutil.Metrics
 	)
 	prof.AddFlags(flag.CommandLine)
+	met.AddFlags(flag.CommandLine)
 	flag.Parse()
 	stopProf, err := prof.Start()
 	fatalIf(err)
@@ -66,11 +67,9 @@ func main() {
 		sink = telemetry.NewTraceSink(0)
 		cfg.Trace = sink
 	}
-	if *metricsWeb != "" {
-		telemetry.Publish("spray")
-		addr, err := telemetry.Serve(*metricsWeb)
-		fatalIf(err)
-		fmt.Fprintf(os.Stderr, "telemetry: live counters on http://%s/debug/vars\n", addr)
+	serving, err := met.Start()
+	fatalIf(err)
+	if serving {
 		*metrics = true
 	}
 	if *metrics {
@@ -150,6 +149,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s (%d timelines, %d dropped events)\n", *tracePath, sink.Len(), sink.Dropped())
 	}
 	fatalIf(stopProf())
+	met.Finish()
 }
 
 func fatalIf(err error) {

@@ -1,0 +1,61 @@
+// Command spraymon is a polling terminal monitor for a live spray
+// process serving diagnostics (any harness started with -metrics-http,
+// or an embedder calling spray.ServeMetrics). Each frame renders, per
+// strategy, the counter rates of the last window, the movement of the
+// latency percentiles, and any new anomaly or panic events from the
+// structured feed. It scrapes /metrics (Prometheus text exposition) and
+// falls back to the legacy /debug/vars expvar page when only that is
+// served.
+//
+// Usage:
+//
+//	spraymon -addr localhost:6060
+//	spraymon -addr localhost:6060 -interval 2s
+//	spraymon -addr localhost:6060 -once      # one frame, then exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"spray/internal/obs"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:6060", "host:port (or full URL) of the spray process to scrape")
+		interval = flag.Duration("interval", time.Second, "scrape period")
+		once     = flag.Bool("once", false, "render a single frame and exit (no rates on the first frame)")
+		frames   = flag.Int("frames", 0, "stop after this many frames (0 = run until killed)")
+	)
+	flag.Parse()
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	m := &obs.Monitor{BaseURL: base}
+
+	if *once {
+		fatalIf(m.Tick(os.Stdout))
+		return
+	}
+	for n := 0; *frames <= 0 || n < *frames; n++ {
+		if n > 0 {
+			time.Sleep(*interval)
+		}
+		if err := m.Tick(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "spraymon:", err)
+		}
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spraymon:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,134 @@
+package spray
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"syscall"
+	"time"
+
+	"spray/internal/obs"
+	"spray/internal/par"
+	"spray/internal/telemetry"
+)
+
+// DiagEvent is one structured diagnostic event: an anomaly detection (a
+// derived metric crossing its streaming baseline, attributed to the
+// dominant deviating counter with a remediation suggestion) or a worker
+// panic notice. Events carry JSON tags and are what /debug/spray/events
+// serves and Events returns.
+type DiagEvent = telemetry.Event
+
+// Diagnostics is the handle returned by EnableFlightRecorder, bundling
+// the flight recorder ring, the event ring and the anomaly detector.
+type Diagnostics = obs.Diagnostics
+
+// DiagnosticsOptions configures EnableFlightRecorder. The zero value
+// selects production defaults everywhere and a 1 s poll interval.
+type DiagnosticsOptions struct {
+	// FlightCapacity bounds the flight recorder ring (snapshot + event
+	// entries, drop-oldest); <= 0 selects obs.DefaultFlightCapacity.
+	FlightCapacity int
+	// EventCapacity bounds the structured event ring; <= 0 selects
+	// obs.DefaultEventCapacity.
+	EventCapacity int
+	// AnomalySigma is the detector's z-score threshold; <= 0 selects the
+	// default (6σ).
+	AnomalySigma float64
+	// AnomalyMinSamples is the baseline warm-up observation count before
+	// the detector may fire; <= 0 selects the default (8).
+	AnomalyMinSamples int
+	// AnomalyCooldown rate-limits events per (strategy, metric); <= 0
+	// selects the default (5 s).
+	AnomalyCooldown time.Duration
+	// PollInterval is the background diagnostics tick. Zero selects 1 s;
+	// negative disables the poller entirely (the embedder drives Poll).
+	PollInterval time.Duration
+	// DumpOnSIGQUIT additionally dumps the flight recorder to stderr when
+	// the process receives SIGQUIT, before the runtime's usual
+	// stack-dump-and-exit behavior.
+	DumpOnSIGQUIT bool
+}
+
+var (
+	diagWireMu sync.Mutex
+	diagSig    func() // uninstalls the SIGQUIT handler
+)
+
+// EnableFlightRecorder turns on the always-on production diagnostics:
+//
+//   - a bounded drop-oldest flight recorder of telemetry snapshots and
+//     events, dumped on demand (/debug/spray/flight via ServeMetrics),
+//     on worker panic, and optionally on SIGQUIT;
+//   - an online anomaly detector holding per-(strategy, region-shape)
+//     streaming baselines over derived contention rates, emitting
+//     rate-limited DiagEvents naming the dominant deviating counter;
+//   - a worker-panic hook so a crash's flight dump contains the
+//     panicking region's last telemetry snapshot.
+//
+// It polls every reducer attached with Instrument; enabling before any
+// Instrument call is fine (the provider registry is consulted per tick).
+// Enabling twice returns the existing instance. Nothing here touches a
+// reduction hot path: the poller reads atomic counter slots from outside.
+func EnableFlightRecorder(o DiagnosticsOptions) *Diagnostics {
+	interval := o.PollInterval
+	if interval == 0 {
+		interval = time.Second
+	}
+	if interval < 0 {
+		interval = 0
+	}
+	d := obs.Enable(obs.Options{
+		FlightCapacity: o.FlightCapacity,
+		EventCapacity:  o.EventCapacity,
+		Sigma:          o.AnomalySigma,
+		MinSamples:     o.AnomalyMinSamples,
+		Cooldown:       o.AnomalyCooldown,
+		PollInterval:   interval,
+	})
+	par.SetPanicHook(func(wp *par.WorkerPanic) {
+		d.OnPanic(wp.Tid, fmt.Sprint(wp.Value))
+	})
+	if o.DumpOnSIGQUIT {
+		diagWireMu.Lock()
+		if diagSig == nil {
+			diagSig = d.Flight.DumpOnSignal(syscall.SIGQUIT)
+		}
+		diagWireMu.Unlock()
+	}
+	return d
+}
+
+// DisableFlightRecorder stops the poller, uninstalls the panic and
+// signal hooks, and returns diagnostics to the zero-cost off state.
+// Mainly for tests; a production process normally never disables it.
+func DisableFlightRecorder() {
+	par.SetPanicHook(nil)
+	diagWireMu.Lock()
+	if diagSig != nil {
+		diagSig()
+		diagSig = nil
+	}
+	diagWireMu.Unlock()
+	obs.Disable()
+}
+
+// Events returns the buffered diagnostic events, oldest first — nil when
+// EnableFlightRecorder has not run.
+func Events() []DiagEvent {
+	if d := obs.Enabled(); d != nil {
+		return d.Events.Events()
+	}
+	return nil
+}
+
+// PrometheusHandler returns the /metrics handler: the Prometheus text
+// exposition (format 0.0.4) of every instrumented reducer's counters,
+// latency histograms and region gauges, for mounting on an existing mux.
+// ServeMetrics already serves it.
+func PrometheusHandler() http.Handler { return obs.PrometheusHandler() }
+
+// DiagnosticsHandler returns the full diagnostics mux that ServeMetrics
+// serves: /metrics, /debug/vars, /debug/spray/flight and
+// /debug/spray/events.
+func DiagnosticsHandler() http.Handler { return obs.Handler() }

@@ -1,0 +1,80 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spray"
+	"spray/internal/telemetry"
+)
+
+// Metrics is the shared -metrics-http/-linger wiring of the cmd/
+// harnesses: when an address is given, Start publishes the expvar
+// export, enables the full production diagnostics (flight recorder,
+// anomaly detector, worker-panic hook, SIGQUIT dump) and serves the
+// diagnostics mux — /metrics Prometheus exposition, /debug/vars expvar,
+// /debug/spray/flight and /debug/spray/events — on it. Finish optionally
+// keeps the server up after the run so monitors can scrape the final
+// state, then closes it.
+//
+//	var met cliutil.Metrics
+//	met.AddFlags(flag.CommandLine)
+//	flag.Parse()
+//	serving, err := met.Start()
+//	// ... workload ...
+//	met.Finish()
+type Metrics struct {
+	Addr   string
+	Linger time.Duration
+
+	srv *spray.MetricsServer
+}
+
+// AddFlags registers -metrics-http and -linger on fs.
+func (m *Metrics) AddFlags(fs *flag.FlagSet) {
+	fs.StringVar(&m.Addr, "metrics-http", "",
+		"serve live diagnostics on this address while running: /metrics (Prometheus), /debug/vars (expvar), flight recorder and anomaly events; implies telemetry instrumentation")
+	fs.DurationVar(&m.Linger, "linger", 0,
+		"with -metrics-http, keep serving this long after the run so monitors can scrape the final state (negative: until killed)")
+}
+
+// Start brings the diagnostics up; serving is false when no address was
+// given. The bound address is announced on stderr (the obs smoke test
+// parses that line to find an ephemeral :0 port).
+func (m *Metrics) Start() (serving bool, err error) {
+	if m.Addr == "" {
+		return false, nil
+	}
+	telemetry.Publish("spray")
+	spray.EnableFlightRecorder(spray.DiagnosticsOptions{
+		PollInterval:  250 * time.Millisecond,
+		DumpOnSIGQUIT: true,
+	})
+	srv, err := spray.ServeMetrics(m.Addr)
+	if err != nil {
+		return false, err
+	}
+	m.srv = srv
+	fmt.Fprintf(os.Stderr, "telemetry: live metrics on http://%s/metrics (expvar on /debug/vars)\n", srv.Addr())
+	return true, nil
+}
+
+// Finish lingers if requested, then shuts the metrics server down. Safe
+// to call when Start did not serve.
+func (m *Metrics) Finish() {
+	if m.srv == nil {
+		return
+	}
+	switch {
+	case m.Linger < 0:
+		fmt.Fprintln(os.Stderr, "telemetry: run complete; serving metrics until killed")
+		select {}
+	case m.Linger > 0:
+		fmt.Fprintf(os.Stderr, "telemetry: run complete; serving metrics for %v\n", m.Linger)
+		time.Sleep(m.Linger)
+	}
+	m.srv.Close()
+	m.srv = nil
+}

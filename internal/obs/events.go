@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"spray/internal/telemetry"
+)
+
+// DefaultEventCapacity bounds the structured event ring when Enable is
+// not told otherwise.
+const DefaultEventCapacity = 128
+
+// EventRing is a bounded drop-oldest ring of structured diagnostic
+// events — the live feed spraymon tails and /debug/spray/events serves.
+// It implements telemetry.EventSink and assigns the process-wide event
+// sequence numbers.
+type EventRing struct {
+	mu      sync.Mutex
+	buf     []telemetry.Event
+	start   int // index of the oldest entry
+	n       int // live entries
+	seq     uint64
+	dropped uint64
+}
+
+// NewEventRing creates a ring of the given capacity (<= 0 selects
+// DefaultEventCapacity).
+func NewEventRing(capacity int) *EventRing {
+	if capacity <= 0 {
+		capacity = DefaultEventCapacity
+	}
+	return &EventRing{buf: make([]telemetry.Event, capacity)}
+}
+
+// Emit appends ev, stamping its sequence number (if unset) and evicting
+// the oldest entry when full.
+func (r *EventRing) Emit(ev telemetry.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ev.Seq == 0 {
+		r.seq++
+		ev.Seq = r.seq
+	}
+	i := (r.start + r.n) % len(r.buf)
+	if r.n == len(r.buf) {
+		r.start = (r.start + 1) % len(r.buf)
+		r.dropped++
+	} else {
+		r.n++
+	}
+	r.buf[i] = ev
+}
+
+// Events returns the buffered events, oldest first.
+func (r *EventRing) Events() []telemetry.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]telemetry.Event, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Dropped returns how many events were evicted before being read.
+func (r *EventRing) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Seq returns the last assigned sequence number — the total number of
+// events emitted so far.
+func (r *EventRing) Seq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Handler serves the ring as a JSON document:
+//
+//	{"dropped": N, "events": [...]}
+func (r *EventRing) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(map[string]any{
+			"dropped": r.Dropped(),
+			"events":  r.Events(),
+		})
+	})
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"spray/internal/telemetry"
+)
+
+// DefaultFlightCapacity bounds the flight recorder ring when Enable is
+// not told otherwise. At the default 1 s poll interval this holds the
+// last ~4 minutes of snapshots — enough context around a crash without
+// unbounded growth.
+const DefaultFlightCapacity = 256
+
+// FlightEntry is one ring slot: either a snapshot of every registered
+// provider or a structured event, stamped and sequenced.
+type FlightEntry struct {
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	// Kind is "snapshot" for provider captures, or the event's source
+	// ("anomaly", "panic") for event entries.
+	Kind    string           `json:"kind"`
+	Samples []Sample         `json:"samples,omitempty"`
+	Event   *telemetry.Event `json:"event,omitempty"`
+}
+
+// Flight is the always-on flight recorder: a bounded drop-oldest ring of
+// recent telemetry snapshots and events. It is cheap enough to leave
+// running in production — one ring slot per poll tick plus one per
+// event — and is dumped as JSON on demand (/debug/spray/flight), on
+// worker panic (via the par panic hook) and on SIGQUIT.
+type Flight struct {
+	mu      sync.Mutex
+	buf     []FlightEntry
+	start   int
+	n       int
+	seq     uint64
+	dropped uint64
+}
+
+// NewFlight creates a flight recorder ring of the given capacity (<= 0
+// selects DefaultFlightCapacity).
+func NewFlight(capacity int) *Flight {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &Flight{buf: make([]FlightEntry, capacity)}
+}
+
+// push appends one entry, evicting the oldest when full.
+func (f *Flight) push(e FlightEntry) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	e.Seq = f.seq
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	i := (f.start + f.n) % len(f.buf)
+	if f.n == len(f.buf) {
+		f.start = (f.start + 1) % len(f.buf)
+		f.dropped++
+	} else {
+		f.n++
+	}
+	f.buf[i] = e
+}
+
+// RecordSnapshot appends a snapshot entry holding the given samples. The
+// samples' CounterMap fields are filled so the JSON dump carries the
+// counters by name.
+func (f *Flight) RecordSnapshot(samples []Sample) {
+	for i := range samples {
+		samples[i].CounterMap = samples[i].Counters.Map()
+	}
+	f.push(FlightEntry{Kind: "snapshot", Samples: samples})
+}
+
+// Emit appends an event entry; Flight implements telemetry.EventSink so
+// the anomaly detector's events land in the crash context automatically.
+func (f *Flight) Emit(ev telemetry.Event) {
+	f.push(FlightEntry{Kind: ev.Source, Time: ev.Time, Event: &ev})
+}
+
+// Len returns the number of live entries.
+func (f *Flight) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// Dropped returns how many entries were evicted oldest-first.
+func (f *Flight) Dropped() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
+
+// Entries returns a copy of the ring, oldest first.
+func (f *Flight) Entries() []FlightEntry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightEntry, 0, f.n)
+	for i := 0; i < f.n; i++ {
+		out = append(out, f.buf[(f.start+i)%len(f.buf)])
+	}
+	return out
+}
+
+// flightDump is the JSON envelope WriteJSON emits.
+type flightDump struct {
+	DumpedAt time.Time     `json:"dumped_at"`
+	Dropped  uint64        `json:"dropped"`
+	Entries  []FlightEntry `json:"entries"`
+}
+
+// WriteJSON dumps the ring as one JSON document, oldest entry first.
+func (f *Flight) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(flightDump{
+		DumpedAt: time.Now(),
+		Dropped:  f.Dropped(),
+		Entries:  f.Entries(),
+	})
+}
+
+// Handler serves the JSON dump (the /debug/spray/flight endpoint).
+func (f *Flight) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = f.WriteJSON(w)
+	})
+}
+
+// DumpOnSignal installs a handler for the given signals (conventionally
+// SIGQUIT) that captures a final snapshot and writes the flight dump to
+// stderr, then restores the default disposition and re-raises the signal
+// so the runtime's usual behavior (the all-goroutine stack dump and
+// exit for SIGQUIT) still happens after the flight data is out. The
+// returned stop function uninstalls the handler.
+func (f *Flight) DumpOnSignal(sigs ...os.Signal) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	notify(ch, sigs...)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case sig := <-ch:
+				f.RecordSnapshot(Samples())
+				_ = f.WriteJSON(os.Stderr)
+				reraise(ch, sig)
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		stopNotify(ch)
+		close(done)
+	}
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"spray/internal/telemetry"
+)
+
+func TestFlightRingDropsOldest(t *testing.T) {
+	f := NewFlight(4)
+	for i := 0; i < 7; i++ {
+		f.Emit(telemetry.Event{Source: "anomaly", Message: fmt.Sprintf("ev%d", i)})
+	}
+	if f.Len() != 4 {
+		t.Fatalf("len = %d, want 4", f.Len())
+	}
+	if f.Dropped() != 3 {
+		t.Errorf("dropped = %d, want 3", f.Dropped())
+	}
+	es := f.Entries()
+	if es[0].Event.Message != "ev3" || es[3].Event.Message != "ev6" {
+		t.Errorf("ring order wrong: first %q last %q", es[0].Event.Message, es[3].Event.Message)
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i].Seq != es[i-1].Seq+1 {
+			t.Errorf("seq gap: %d after %d", es[i].Seq, es[i-1].Seq)
+		}
+	}
+}
+
+func TestFlightDumpCarriesSnapshotCounters(t *testing.T) {
+	f := NewFlight(8)
+	f.RecordSnapshot([]Sample{testSample("atomic", 5, 99)})
+	f.Emit(telemetry.Event{Source: "panic", Time: time.Now(), Message: "boom"})
+
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		DumpedAt time.Time `json:"dumped_at"`
+		Dropped  uint64    `json:"dropped"`
+		Entries  []struct {
+			Kind    string `json:"kind"`
+			Samples []struct {
+				Strategy string            `json:"strategy"`
+				Counters map[string]uint64 `json:"counters"`
+			} `json:"samples"`
+			Event *telemetry.Event `json:"event"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("dump not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(dump.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(dump.Entries))
+	}
+	snap := dump.Entries[0]
+	if snap.Kind != "snapshot" || len(snap.Samples) != 1 {
+		t.Fatalf("first entry %+v, want one-sample snapshot", snap)
+	}
+	if snap.Samples[0].Strategy != "atomic" {
+		t.Errorf("snapshot strategy %q", snap.Samples[0].Strategy)
+	}
+	// Counters must be rendered by name in the dump (CounterMap fill).
+	if snap.Samples[0].Counters["cas-retries"] != 99 {
+		t.Errorf("snapshot counters %v, want cas-retries=99", snap.Samples[0].Counters)
+	}
+	if dump.Entries[1].Kind != "panic" || dump.Entries[1].Event == nil {
+		t.Errorf("second entry %+v, want panic event", dump.Entries[1])
+	}
+	if dump.DumpedAt.IsZero() {
+		t.Error("dumped_at missing")
+	}
+}
+
+func TestEventRingSeqAndDrop(t *testing.T) {
+	r := NewEventRing(3)
+	for i := 0; i < 5; i++ {
+		r.Emit(telemetry.Event{Source: "anomaly"})
+	}
+	if r.Seq() != 5 {
+		t.Errorf("seq = %d, want 5", r.Seq())
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", r.Dropped())
+	}
+	es := r.Events()
+	if len(es) != 3 || es[0].Seq != 3 || es[2].Seq != 5 {
+		t.Errorf("events %+v, want seqs 3..5", es)
+	}
+	// A pre-stamped sequence number (an event already numbered by another
+	// ring) is preserved.
+	r.Emit(telemetry.Event{Seq: 42})
+	es = r.Events()
+	if es[len(es)-1].Seq != 42 {
+		t.Errorf("pre-stamped seq overwritten: %d", es[len(es)-1].Seq)
+	}
+}
+
+func TestDiagnosticsEnablePollAndPanic(t *testing.T) {
+	Disable()
+	t.Cleanup(Disable)
+	id := RegisterProvider(func() Sample { return testSample("keeper", 3, 0) })
+	t.Cleanup(func() { UnregisterProvider(id) })
+
+	d := Enable(Options{}) // no poller: tests tick manually
+	if Enabled() != d {
+		t.Fatal("Enabled did not return the instance")
+	}
+	if again := Enable(Options{FlightCapacity: 1}); again != d {
+		t.Error("second Enable built a new instance")
+	}
+	d.Poll()
+	if d.Flight.Len() != 1 {
+		t.Errorf("flight after poll: %d entries", d.Flight.Len())
+	}
+
+	d.OnPanic(2, "index out of range")
+	evs := d.Events.Events()
+	if len(evs) != 1 || evs[0].Source != "panic" {
+		t.Fatalf("events after panic: %+v", evs)
+	}
+	// The flight must now hold: poll snapshot, panic event, panic snapshot.
+	es := d.Flight.Entries()
+	if len(es) != 3 || es[1].Kind != "panic" || es[2].Kind != "snapshot" {
+		t.Fatalf("flight after panic: %d entries, kinds %v", len(es), kinds(es))
+	}
+	if len(es[2].Samples) != 1 || es[2].Samples[0].Strategy != "keeper" {
+		t.Errorf("panic snapshot lost the provider: %+v", es[2].Samples)
+	}
+}
+
+func kinds(es []FlightEntry) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.Kind
+	}
+	return out
+}

@@ -1,0 +1,461 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"spray/internal/telemetry"
+)
+
+// Monitor is the client half of the diagnostics layer: it polls a live
+// spray process over HTTP and renders per-strategy counter rates,
+// latency-percentile movement and the structured event feed as terminal
+// frames. cmd/spraymon is a thin flag wrapper around it. The primary
+// endpoint is /metrics (Prometheus exposition, parsed with ParseProm);
+// when that is absent — a process serving only the legacy expvar page —
+// it falls back to /debug/vars and renders counters without histograms.
+type Monitor struct {
+	// BaseURL is the scrape target root, e.g. "http://localhost:9090".
+	BaseURL string
+	// Client is the HTTP client (nil: a client with a 5 s timeout).
+	Client *http.Client
+	// Now is the frame clock, injectable for tests (nil: time.Now).
+	Now func() time.Time
+
+	mu      sync.Mutex
+	prev    *monState
+	lastSeq uint64
+}
+
+// monState is the digested form of one scrape, kept so the next frame
+// can render rates and percentile movement from the window between them.
+type monState struct {
+	at       time.Time
+	counters map[string]map[string]float64 // strategy -> kind -> total
+	regions  map[string]float64
+	wall     map[string]float64            // seconds
+	hists    map[string]map[string]histCum // strategy -> kind -> buckets
+	// window percentiles of the previous frame, for movement arrows
+	pcts map[string]map[string][2]float64 // strategy -> kind -> {p50, p99}
+}
+
+// histCum is one histogram's cumulative buckets in le order.
+type histCum struct {
+	les   []float64
+	cum   []float64
+	count float64
+}
+
+func (m *Monitor) client() *http.Client {
+	if m.Client != nil {
+		return m.Client
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+func (m *Monitor) now() time.Time {
+	if m.Now != nil {
+		return m.Now()
+	}
+	return time.Now()
+}
+
+func (m *Monitor) get(path string) (*http.Response, error) {
+	return m.client().Get(strings.TrimRight(m.BaseURL, "/") + path)
+}
+
+// Tick scrapes once and writes one rendered frame to w. The first tick
+// has no window to diff against and renders totals only.
+func (m *Monitor) Tick(w io.Writer) error {
+	resp, err := m.get("/metrics")
+	if err != nil {
+		return fmt.Errorf("spraymon: scrape %s: %w", m.BaseURL, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return m.tickExpvar(w)
+	}
+	scrape, err := ParseProm(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("spraymon: %w", err)
+	}
+
+	cur := digest(scrape, m.now())
+
+	m.mu.Lock()
+	prev := m.prev
+	m.prev = cur
+	m.mu.Unlock()
+
+	m.render(w, scrape, cur, prev)
+	m.renderEvents(w)
+	return nil
+}
+
+// digest folds a parsed scrape into the per-strategy maps a frame needs.
+func digest(p *PromScrape, at time.Time) *monState {
+	st := &monState{
+		at:       at,
+		counters: map[string]map[string]float64{},
+		regions:  map[string]float64{},
+		wall:     map[string]float64{},
+		hists:    map[string]map[string]histCum{},
+		pcts:     map[string]map[string][2]float64{},
+	}
+	for _, s := range p.Samples {
+		strat := s.Labels["strategy"]
+		switch s.Name {
+		case "spray_events_total":
+			c := st.counters[strat]
+			if c == nil {
+				c = map[string]float64{}
+				st.counters[strat] = c
+			}
+			c[s.Labels["kind"]] = s.Value
+		case "spray_regions_total":
+			st.regions[strat] = s.Value
+		case "spray_region_wall_seconds_total":
+			st.wall[strat] = s.Value
+		case "spray_latency_seconds_bucket":
+			le, err := parsePromValue(s.Labels["le"])
+			if err != nil {
+				continue
+			}
+			hk := st.hists[strat]
+			if hk == nil {
+				hk = map[string]histCum{}
+				st.hists[strat] = hk
+			}
+			h := hk[s.Labels["kind"]]
+			h.les = append(h.les, le)
+			h.cum = append(h.cum, s.Value)
+			if math.IsInf(le, 1) {
+				h.count = s.Value
+			}
+			hk[s.Labels["kind"]] = h
+		}
+	}
+	for _, hk := range st.hists {
+		for k, h := range hk {
+			sortHist(&h)
+			hk[k] = h
+		}
+	}
+	return st
+}
+
+func sortHist(h *histCum) {
+	idx := make([]int, len(h.les))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return h.les[idx[a]] < h.les[idx[b]] })
+	les := make([]float64, len(idx))
+	cum := make([]float64, len(idx))
+	for i, j := range idx {
+		les[i], cum[i] = h.les[j], h.cum[j]
+	}
+	h.les, h.cum = les, cum
+}
+
+// windowQuantile returns the q-quantile of the window between two scrapes
+// of one cumulative histogram (prev nil: since process start). ok=false
+// when the window saw no samples.
+func windowQuantile(cur, prev *histCum, q float64) (float64, bool) {
+	n := len(cur.les)
+	delta := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		d := cur.cum[i]
+		if prev != nil && i < len(prev.cum) {
+			d -= prev.cum[i]
+		}
+		delta[i] = d
+		if i == n-1 {
+			total = d
+		}
+	}
+	if total <= 0 {
+		return 0, false
+	}
+	target := q * total
+	for i := 0; i < n; i++ {
+		if delta[i] >= target {
+			if math.IsInf(cur.les[i], 1) && i > 0 {
+				return cur.les[i-1], true
+			}
+			return cur.les[i], true
+		}
+	}
+	return cur.les[n-1], true
+}
+
+func fmtRate(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG/s", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM/s", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fk/s", v/1e3)
+	default:
+		return fmt.Sprintf("%.1f/s", v)
+	}
+}
+
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Nanosecond).String()
+}
+
+// movement renders a percentile with an arrow against the previous
+// frame's value: ↑ when it grew by >25%, ↓ when it shrank by >25%.
+func movement(cur float64, prev float64, havePrev bool) string {
+	s := fmtSeconds(cur)
+	if !havePrev || prev <= 0 {
+		return s
+	}
+	switch {
+	case cur > prev*1.25:
+		return s + "↑"
+	case cur < prev*0.75:
+		return s + "↓"
+	default:
+		return s + "·"
+	}
+}
+
+// render writes one frame: a header, then per strategy the region/element
+// rates, the busiest counters of the window, and latency percentiles.
+func (m *Monitor) render(w io.Writer, p *PromScrape, cur, prev *monState) {
+	providers, _ := p.Value("spray_providers")
+	anomalies, _ := p.Value("spray_anomaly_events_total")
+	fmt.Fprintf(w, "spraymon %s  %s  providers=%d  anomalies=%d\n",
+		m.BaseURL, cur.at.Format("15:04:05"), int(providers), int(anomalies))
+
+	var dt float64
+	if prev != nil {
+		dt = cur.at.Sub(prev.at).Seconds()
+	}
+
+	strategies := make([]string, 0, len(cur.counters))
+	for s := range cur.counters {
+		strategies = append(strategies, s)
+	}
+	sort.Strings(strategies)
+
+	for _, strat := range strategies {
+		fmt.Fprintf(w, "  [%s] regions=%d", strat, int(cur.regions[strat]))
+		if dt > 0 {
+			fmt.Fprintf(w, " (%s)", fmtRate((cur.regions[strat]-prev.regions[strat])/dt))
+		}
+		if wall := cur.wall[strat]; wall > 0 {
+			fmt.Fprintf(w, " wall=%s", fmtSeconds(wall))
+		}
+		fmt.Fprintln(w)
+
+		// Counters: totals on the first frame, window rates after, top 6
+		// by rate so a storm floats to the top of the frame.
+		type kv struct {
+			kind string
+			v    float64
+		}
+		var rows []kv
+		for kind, total := range cur.counters[strat] {
+			v := total
+			if dt > 0 {
+				v = (total - prev.counters[strat][kind]) / dt
+			}
+			if v > 0 {
+				rows = append(rows, kv{kind, v})
+			}
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].v != rows[j].v {
+				return rows[i].v > rows[j].v
+			}
+			return rows[i].kind < rows[j].kind
+		})
+		if len(rows) > 6 {
+			rows = rows[:6]
+		}
+		for _, r := range rows {
+			if dt > 0 {
+				fmt.Fprintf(w, "    %-22s %s\n", r.kind, fmtRate(r.v))
+			} else {
+				fmt.Fprintf(w, "    %-22s %.0f\n", r.kind, r.v)
+			}
+		}
+
+		// Latency percentiles of the window, with movement arrows against
+		// the previous window.
+		kinds := make([]string, 0, len(cur.hists[strat]))
+		for k := range cur.hists[strat] {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, kind := range kinds {
+			h := cur.hists[strat][kind]
+			var ph *histCum
+			if prev != nil {
+				if hh, ok := prev.hists[strat][kind]; ok {
+					ph = &hh
+				}
+			}
+			p50, ok50 := windowQuantile(&h, ph, 0.50)
+			p99, ok99 := windowQuantile(&h, ph, 0.99)
+			if !ok50 && !ok99 {
+				continue
+			}
+			var prevP [2]float64
+			havePrev := false
+			if prev != nil {
+				if pp, ok := prev.pcts[strat][kind]; ok {
+					prevP, havePrev = pp, true
+				}
+			}
+			if cur.pcts[strat] == nil {
+				cur.pcts[strat] = map[string][2]float64{}
+			}
+			cur.pcts[strat][kind] = [2]float64{p50, p99}
+			fmt.Fprintf(w, "    %-22s p50=%s p99=%s\n", kind+" latency",
+				movement(p50, prevP[0], havePrev), movement(p99, prevP[1], havePrev))
+		}
+	}
+}
+
+// renderEvents tails /debug/spray/events, printing entries newer than the
+// last frame. A 404 (diagnostics not enabled server-side) is silent.
+func (m *Monitor) renderEvents(w io.Writer) {
+	resp, err := m.get("/debug/spray/events")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	var feed struct {
+		Dropped uint64            `json:"dropped"`
+		Events  []telemetry.Event `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&feed); err != nil {
+		return
+	}
+	m.mu.Lock()
+	last := m.lastSeq
+	m.mu.Unlock()
+	maxSeq := last
+	for _, ev := range feed.Events {
+		if ev.Seq <= last {
+			continue
+		}
+		if ev.Seq > maxSeq {
+			maxSeq = ev.Seq
+		}
+		fmt.Fprintf(w, "  ! [%s] %s\n", ev.Source, ev.Message)
+	}
+	m.mu.Lock()
+	m.lastSeq = maxSeq
+	m.mu.Unlock()
+}
+
+// tickExpvar is the fallback frame for processes that serve only the
+// legacy expvar endpoint: counters and rates, no histograms or events.
+func (m *Monitor) tickExpvar(w io.Writer) error {
+	resp, err := m.get("/debug/vars")
+	if err != nil {
+		return fmt.Errorf("spraymon: no /metrics and no /debug/vars on %s: %w", m.BaseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("spraymon: no /metrics and /debug/vars answered %s", resp.Status)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		return fmt.Errorf("spraymon: parse /debug/vars: %w", err)
+	}
+	// The spray export is whichever var carries a recorders/totals pair;
+	// scanning for the shape avoids pinning the published name.
+	type export struct {
+		Recorders []struct {
+			Name     string            `json:"name"`
+			Counters map[string]uint64 `json:"counters"`
+		} `json:"recorders"`
+		Totals map[string]uint64 `json:"totals"`
+	}
+	var exp *export
+	names := make([]string, 0, len(vars))
+	for name := range vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var e export
+		if err := json.Unmarshal(vars[name], &e); err == nil && e.Recorders != nil {
+			exp = &e
+			break
+		}
+	}
+	if exp == nil {
+		return fmt.Errorf("spraymon: /debug/vars on %s has no spray telemetry export", m.BaseURL)
+	}
+
+	now := m.now()
+	cur := &monState{at: now, counters: map[string]map[string]float64{}}
+	for _, r := range exp.Recorders {
+		c := cur.counters[r.Name]
+		if c == nil {
+			c = map[string]float64{}
+			cur.counters[r.Name] = c
+		}
+		for k, v := range r.Counters {
+			c[k] += float64(v)
+		}
+	}
+	m.mu.Lock()
+	prev := m.prev
+	m.prev = cur
+	m.mu.Unlock()
+
+	var dt float64
+	if prev != nil {
+		dt = now.Sub(prev.at).Seconds()
+	}
+	fmt.Fprintf(w, "spraymon %s  %s  (expvar fallback)\n", m.BaseURL, now.Format("15:04:05"))
+	strategies := make([]string, 0, len(cur.counters))
+	for s := range cur.counters {
+		strategies = append(strategies, s)
+	}
+	sort.Strings(strategies)
+	for _, strat := range strategies {
+		fmt.Fprintf(w, "  [%s]\n", strat)
+		kinds := make([]string, 0, len(cur.counters[strat]))
+		for k := range cur.counters[strat] {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, kind := range kinds {
+			total := cur.counters[strat][kind]
+			if dt > 0 {
+				rate := (total - prev.counters[strat][kind]) / dt
+				if rate <= 0 {
+					continue
+				}
+				fmt.Fprintf(w, "    %-22s %s\n", kind, fmtRate(rate))
+			} else if total > 0 {
+				fmt.Fprintf(w, "    %-22s %.0f\n", kind, total)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spray/internal/telemetry"
+)
+
+// monitorFixture serves a controllable /metrics + /debug/spray/events
+// pair so Monitor frames are deterministic.
+type monitorFixture struct {
+	mu      sync.Mutex
+	samples []Sample
+	events  []telemetry.Event
+}
+
+func (f *monitorFixture) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, f.samples, nil)
+	})
+	mux.HandleFunc("/debug/spray/events", func(w http.ResponseWriter, _ *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]any{"dropped": 0, "events": f.events})
+	})
+	return mux
+}
+
+func TestMonitorRendersRatesAndEvents(t *testing.T) {
+	fix := &monitorFixture{samples: []Sample{testSample("atomic", 10, 100)}}
+	srv := httptest.NewServer(fix.handler())
+	t.Cleanup(srv.Close)
+
+	clock := time.Unix(1_700_000_000, 0)
+	m := &Monitor{BaseURL: srv.URL, Now: func() time.Time { return clock }}
+
+	// Frame 1: totals only (no window yet).
+	var f1 strings.Builder
+	if err := m.Tick(&f1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f1.String(), "[atomic]") || !strings.Contains(f1.String(), "regions=10") {
+		t.Errorf("frame 1 missing strategy/regions:\n%s", f1.String())
+	}
+	if !strings.Contains(f1.String(), "cas_retries") {
+		t.Errorf("frame 1 missing counter totals:\n%s", f1.String())
+	}
+
+	// Advance: 10 more regions, 900 more retries, one anomaly event, 2 s
+	// of wall clock between scrapes.
+	s2 := testSample("atomic", 20, 1000)
+	s2.Hists[0].Buckets[3] += 8 // new latency mass so the window has samples
+	s2.Hists[0].Count += 8
+	fix.mu.Lock()
+	fix.samples = []Sample{s2}
+	fix.events = append(fix.events, telemetry.Event{
+		Seq: 1, Source: "anomaly", Strategy: "atomic",
+		Message: "cas-retries 14.0σ above baseline on atomic",
+	})
+	fix.mu.Unlock()
+	clock = clock.Add(2 * time.Second)
+
+	var f2 strings.Builder
+	if err := m.Tick(&f2); err != nil {
+		t.Fatal(err)
+	}
+	out := f2.String()
+	// 900 retries over 2 s = 450/s.
+	if !strings.Contains(out, "450.0/s") {
+		t.Errorf("frame 2 missing cas-retry rate:\n%s", out)
+	}
+	if !strings.Contains(out, "! [anomaly] cas-retries 14.0σ") {
+		t.Errorf("frame 2 missing event feed line:\n%s", out)
+	}
+	if !strings.Contains(out, "p50=") || !strings.Contains(out, "p99=") {
+		t.Errorf("frame 2 missing percentiles:\n%s", out)
+	}
+
+	// Frame 3: the event was already shown — it must not repeat.
+	clock = clock.Add(2 * time.Second)
+	var f3 strings.Builder
+	if err := m.Tick(&f3); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(f3.String(), "! [anomaly]") {
+		t.Errorf("frame 3 repeated an already-shown event:\n%s", f3.String())
+	}
+}
+
+func TestMonitorExpvarFallback(t *testing.T) {
+	mux := http.NewServeMux()
+	export := map[string]any{
+		"recorders": []map[string]any{
+			{"name": "keeper", "counters": map[string]uint64{"updates": 5000, "keeper-foreign": 40}},
+		},
+		"totals": map[string]uint64{"updates": 5000, "keeper-foreign": 40},
+	}
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		blob, _ := json.Marshal(export)
+		fmt.Fprintf(w, `{"cmdline":["x"],"memstats":{"Alloc":1},"spray":%s}`, blob)
+	})
+	srv := httptest.NewServer(mux) // no /metrics: 404 forces the fallback
+	t.Cleanup(srv.Close)
+
+	m := &Monitor{BaseURL: srv.URL}
+	var out strings.Builder
+	if err := m.Tick(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "expvar fallback") || !strings.Contains(s, "[keeper]") {
+		t.Errorf("fallback frame wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "keeper-foreign") {
+		t.Errorf("fallback frame missing counters:\n%s", s)
+	}
+}
+
+func TestMonitorQuantileWindow(t *testing.T) {
+	// Two scrapes of a cumulative histogram; the window between them has
+	// all its new mass in the le=0.004 bucket.
+	prev := histCum{les: []float64{0.001, 0.004, inf()}, cum: []float64{10, 10, 10}, count: 10}
+	cur := histCum{les: []float64{0.001, 0.004, inf()}, cum: []float64{10, 18, 18}, count: 18}
+	q, ok := windowQuantile(&cur, &prev, 0.5)
+	if !ok || q != 0.004 {
+		t.Errorf("window p50 = %v, %v, want 0.004", q, ok)
+	}
+	// Empty window.
+	if _, ok := windowQuantile(&prev, &prev, 0.5); ok {
+		t.Error("empty window produced a quantile")
+	}
+	// Since-start (nil prev) falls in the first bucket.
+	q, ok = windowQuantile(&prev, nil, 0.5)
+	if !ok || q != 0.001 {
+		t.Errorf("since-start p50 = %v, %v, want 0.001", q, ok)
+	}
+}
+
+func inf() float64 { return math.Inf(1) }

@@ -1,0 +1,250 @@
+// Package obs is the production diagnostics layer of the SPRAY
+// reproduction, built on top of internal/telemetry's counter shards and
+// histograms. Where telemetry *records* what strategies do, obs watches
+// a long-running reduction service and answers operator questions:
+//
+//   - Prometheus text-format exposition (/metrics, prom.go): every
+//     counter kind, latency histogram and region gauge of every
+//     registered sample provider, with sanitized strategy/kind labels.
+//   - An always-on flight recorder (flight.go): a bounded drop-oldest
+//     ring of recent telemetry snapshots and structured events, dumped
+//     as JSON on demand, on worker panic, and on SIGQUIT.
+//   - An online anomaly detector (anomaly.go): per-(strategy, shape)
+//     streaming Welford baselines over derived rates, emitting
+//     rate-limited events that name the dominant deviating counter and
+//     a remediation suggestion.
+//   - The scrape/monitor client half (promparse.go, monitor.go) that
+//     cmd/spraymon drives against a live process.
+//
+// Everything here is pull-based over the provider registry: reducers
+// instrumented with spray.Instrument publish a Provider that yields a
+// point-in-time Sample. Nothing in this package touches a reduction hot
+// path — the off state is the absence of providers and a nil global
+// Diagnostics, so the telemetry-off overhead budget is untouched.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"spray/internal/telemetry"
+)
+
+// Sample is one point-in-time view of an instrumented (team, reducer)
+// pair — the provider-facing mirror of spray.RegionReport, kept as plain
+// data so this package does not import the root package.
+type Sample struct {
+	Strategy    string             `json:"strategy"`
+	Threads     int                `json:"threads"`
+	Regions     int                `json:"regions"`
+	Wall        time.Duration      `json:"wall"`
+	BarrierWait time.Duration      `json:"barrier_wait"`
+	Busy        []time.Duration    `json:"busy,omitempty"`
+	Bytes       int64              `json:"bytes"`
+	PeakBytes   int64              `json:"peak_bytes"`
+	Counters    telemetry.Snapshot `json:"-"`
+	// CounterMap is the JSON rendering of Counters (filled by dump
+	// paths; scrape paths read Counters directly).
+	CounterMap map[string]uint64                           `json:"counters,omitempty"`
+	Hists      [telemetry.NumHKinds]telemetry.HistSnapshot `json:"-"`
+}
+
+// LoadImbalance returns max over mean per-member busy time (0 when no
+// busy time was recorded).
+func (s Sample) LoadImbalance() float64 {
+	if len(s.Busy) == 0 {
+		return 0
+	}
+	var max, sum time.Duration
+	for _, b := range s.Busy {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if sum <= 0 {
+		return 0
+	}
+	mean := sum / time.Duration(len(s.Busy))
+	if mean <= 0 {
+		return 0
+	}
+	return float64(max) / float64(mean)
+}
+
+// Provider yields a fresh Sample on demand. Providers must be safe to
+// call concurrently with running regions (telemetry slots are atomic).
+type Provider func() Sample
+
+// The provider registry. spray.Instrument registers one provider per
+// instrumentation and removes it on Detach, so scrapes, flight captures
+// and detector polls always see exactly the currently-attached reducers.
+var (
+	provMu    sync.Mutex
+	providers = map[uint64]Provider{}
+	provSeq   uint64
+)
+
+// RegisterProvider adds p to the registry and returns the handle to
+// unregister it with.
+func RegisterProvider(p Provider) uint64 {
+	provMu.Lock()
+	defer provMu.Unlock()
+	provSeq++
+	providers[provSeq] = p
+	return provSeq
+}
+
+// UnregisterProvider removes the provider registered under id.
+func UnregisterProvider(id uint64) {
+	provMu.Lock()
+	defer provMu.Unlock()
+	delete(providers, id)
+}
+
+// Samples collects one Sample from every registered provider, sorted by
+// strategy name (stable scrape and dump order).
+func Samples() []Sample {
+	provMu.Lock()
+	ps := make([]Provider, 0, len(providers))
+	for _, p := range providers {
+		ps = append(ps, p)
+	}
+	provMu.Unlock()
+	out := make([]Sample, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, p())
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Strategy < out[j].Strategy })
+	return out
+}
+
+// Options configures Enable.
+type Options struct {
+	// FlightCapacity bounds the flight recorder ring (entries); <= 0
+	// selects DefaultFlightCapacity.
+	FlightCapacity int
+	// EventCapacity bounds the structured event ring; <= 0 selects
+	// DefaultEventCapacity.
+	EventCapacity int
+	// Sigma is the anomaly z-score threshold; <= 0 selects DefaultSigma.
+	Sigma float64
+	// MinSamples is the baseline warm-up before the detector may fire;
+	// <= 0 selects DefaultMinSamples.
+	MinSamples int
+	// Cooldown rate-limits events per (strategy, metric); <= 0 selects
+	// DefaultCooldown.
+	Cooldown time.Duration
+	// PollInterval starts a background goroutine calling Poll at this
+	// period. Zero means no poller: the embedder calls Poll (tests, or
+	// processes that tick from their own loop).
+	PollInterval time.Duration
+}
+
+// Diagnostics bundles the always-on production pillars: the flight
+// recorder, the event ring and the anomaly detector, plus the optional
+// poll loop that feeds them.
+type Diagnostics struct {
+	Flight   *Flight
+	Events   *EventRing
+	Detector *Detector
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+var (
+	diagMu sync.Mutex
+	diag   *Diagnostics
+)
+
+// Enable constructs the global Diagnostics (idempotent: a second call
+// returns the existing instance unchanged). The detector emits into both
+// the event ring and the flight recorder.
+func Enable(o Options) *Diagnostics {
+	diagMu.Lock()
+	defer diagMu.Unlock()
+	if diag != nil {
+		return diag
+	}
+	d := &Diagnostics{
+		Flight: NewFlight(o.FlightCapacity),
+		Events: NewEventRing(o.EventCapacity),
+	}
+	d.Detector = NewDetector(DetectorConfig{
+		Sigma:      o.Sigma,
+		MinSamples: o.MinSamples,
+		Cooldown:   o.Cooldown,
+	}, d.Events, d.Flight)
+	if o.PollInterval > 0 {
+		d.stop = make(chan struct{})
+		d.done = make(chan struct{})
+		go d.pollLoop(o.PollInterval)
+	}
+	diag = d
+	return d
+}
+
+// Enabled returns the global Diagnostics, or nil when Enable was never
+// called (the zero-cost off state).
+func Enabled() *Diagnostics {
+	diagMu.Lock()
+	defer diagMu.Unlock()
+	return diag
+}
+
+// Disable stops the poll loop (if any) and clears the global, returning
+// the package to the off state. Tests use it to isolate themselves; a
+// production process normally never disables diagnostics.
+func Disable() {
+	diagMu.Lock()
+	d := diag
+	diag = nil
+	diagMu.Unlock()
+	if d != nil && d.stop != nil {
+		close(d.stop)
+		<-d.done
+	}
+}
+
+func (d *Diagnostics) pollLoop(interval time.Duration) {
+	defer close(d.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			d.Poll()
+		}
+	}
+}
+
+// Poll takes one diagnostics tick: collect a sample from every provider,
+// feed each through the anomaly detector (which may emit events), and
+// append a snapshot entry to the flight recorder. Manual Poll and the
+// background poller are interchangeable; calls serialize internally.
+func (d *Diagnostics) Poll() {
+	samples := Samples()
+	for _, s := range samples {
+		d.Detector.Observe(s)
+	}
+	d.Flight.RecordSnapshot(samples)
+}
+
+// OnPanic is the par.SetPanicHook target: it records a panic event plus
+// an immediate snapshot of every provider, so a post-mortem flight dump
+// contains the panicking region's last telemetry state.
+func (d *Diagnostics) OnPanic(tid int, value string) {
+	ev := telemetry.Event{
+		Time:    time.Now(),
+		Source:  "panic",
+		Message: fmt.Sprintf("worker panic in team member %d: %s", tid, value),
+	}
+	d.Events.Emit(ev)
+	d.Flight.Emit(ev)
+	d.Flight.RecordSnapshot(Samples())
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"spray/internal/telemetry"
+)
+
+// testSample builds a Sample with a plausible counter/histogram shape.
+func testSample(strategy string, regions int, retries uint64) Sample {
+	var s Sample
+	s.Strategy = strategy
+	s.Threads = 4
+	s.Regions = regions
+	s.Wall = time.Duration(regions) * time.Millisecond
+	s.BarrierWait = time.Duration(regions) * 100 * time.Microsecond
+	s.Busy = []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	s.Bytes = 1024
+	s.PeakBytes = 4096
+	s.Counters[telemetry.Updates] = uint64(regions) * 1000
+	s.Counters[telemetry.CASRetries] = retries
+	h := &s.Hists[0]
+	h.Buckets[3] = 5
+	h.Buckets[7] = 2
+	h.Count = 7
+	h.Sum = 12345
+	return s
+}
+
+func TestPromExpositionValidates(t *testing.T) {
+	samples := []Sample{
+		testSample("atomic", 10, 42),
+		testSample("block-cas-1024", 3, 0),
+	}
+	var b strings.Builder
+	WritePrometheus(&b, samples, nil)
+	scrape, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("exposition failed validation: %v\n%s", err, b.String())
+	}
+
+	if v, ok := scrape.Value("spray_events_total", "strategy=atomic", "kind=cas_retries"); !ok || v != 42 {
+		t.Errorf("cas_retries series = %v, %v (want 42)", v, ok)
+	}
+	if v, ok := scrape.Value("spray_regions_total", "strategy=block-cas-1024"); !ok || v != 3 {
+		t.Errorf("regions series = %v, %v (want 3)", v, ok)
+	}
+	if v, ok := scrape.Value("spray_threads", "strategy=atomic"); !ok || v != 4 {
+		t.Errorf("threads gauge = %v, %v", v, ok)
+	}
+	if v, ok := scrape.Value("spray_providers"); !ok || v != 2 {
+		t.Errorf("providers gauge = %v, %v", v, ok)
+	}
+	// Histogram invariants are checked by ParseProm itself; spot-check the
+	// count series and the +Inf bucket.
+	kind := promName(telemetry.HKind(0).String())
+	if v, ok := scrape.Value("spray_latency_seconds_count", "strategy=atomic", "kind="+kind); !ok || v != 7 {
+		t.Errorf("latency count = %v, %v (want 7)", v, ok)
+	}
+	found := false
+	for _, s := range scrape.Series("spray_latency_seconds_bucket") {
+		if s.Labels["strategy"] == "atomic" && s.Labels["kind"] == kind && s.Labels["le"] == "+Inf" {
+			found = true
+			if s.Value != 7 {
+				t.Errorf("+Inf bucket = %v, want 7", s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Error("no +Inf bucket series for atomic")
+	}
+	if scrape.Types["spray_latency_seconds"] != "histogram" {
+		t.Errorf("latency TYPE = %q", scrape.Types["spray_latency_seconds"])
+	}
+}
+
+func TestPromMergesDuplicateStrategies(t *testing.T) {
+	// Two providers with the same strategy name must merge into one label
+	// set — the exposition format forbids duplicate series.
+	samples := []Sample{
+		testSample("atomic", 10, 40),
+		testSample("atomic", 5, 2),
+	}
+	var b strings.Builder
+	WritePrometheus(&b, samples, nil)
+	scrape, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("merged exposition invalid: %v", err)
+	}
+	if v, ok := scrape.Value("spray_events_total", "strategy=atomic", "kind=cas_retries"); !ok || v != 42 {
+		t.Errorf("merged cas_retries = %v, %v (want 42)", v, ok)
+	}
+	if v, _ := scrape.Value("spray_regions_total", "strategy=atomic"); v != 15 {
+		t.Errorf("merged regions = %v, want 15", v)
+	}
+	if v, _ := scrape.Value("spray_latency_seconds_count", "strategy=atomic", "kind="+promName(telemetry.HKind(0).String())); v != 14 {
+		t.Errorf("merged latency count = %v, want 14", v)
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	nasty := "we\"ird\\strat\negy"
+	samples := []Sample{testSample(nasty, 1, 0)}
+	var b strings.Builder
+	WritePrometheus(&b, samples, nil)
+	scrape, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("escaped exposition invalid: %v\n%s", err, b.String())
+	}
+	// The parser unescapes; the strategy value must round-trip exactly.
+	if v, ok := scrape.Value("spray_regions_total", "strategy="+nasty); !ok || v != 1 {
+		t.Errorf("nasty strategy did not round-trip: %v, %v", v, ok)
+	}
+}
+
+func TestPrometheusHandlerServesRegistry(t *testing.T) {
+	id := RegisterProvider(func() Sample { return testSample("keeper", 7, 0) })
+	t.Cleanup(func() { UnregisterProvider(id) })
+
+	srv := httptest.NewServer(Handler())
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	scrape, err := ParseProm(resp.Body)
+	if err != nil {
+		t.Fatalf("live scrape invalid: %v", err)
+	}
+	if v, ok := scrape.Value("spray_regions_total", "strategy=keeper"); !ok || v != 7 {
+		t.Errorf("keeper regions = %v, %v", v, ok)
+	}
+
+	// Flight and events endpoints are 404 until Enable.
+	for _, path := range []string{"/debug/spray/flight", "/debug/spray/events"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s before Enable: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestParsePromRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"duplicate series": "# TYPE a counter\na 1\na 2\n",
+		"no TYPE":          "lonely 3\n",
+		"bad name":         "# TYPE 9bad counter\n9bad 1\n",
+		"bad escape":       "# TYPE a counter\na{l=\"x\\q\"} 1\n",
+		"unquoted label":   "# TYPE a counter\na{l=x} 1\n",
+		"bad value":        "# TYPE a counter\na one\n",
+		"decreasing buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n" +
+			"h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"missing +Inf": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"inf != count": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 9\n",
+	}
+	for name, payload := range cases {
+		if _, err := ParseProm(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	good := "# TYPE a counter\na{l=\"x\\\\y\\\"z\\n\"} 1 1700000000\na 2\n"
+	scrape, err := ParseProm(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("good payload rejected: %v", err)
+	}
+	if v, ok := scrape.Value("a", "l=x\\y\"z\n"); !ok || v != 1 {
+		t.Errorf("escaped label lookup = %v, %v", v, ok)
+	}
+	if math.IsNaN(scrape.Samples[0].Value) {
+		t.Error("unexpected NaN")
+	}
+}

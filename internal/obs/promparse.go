@@ -1,0 +1,388 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A minimal Prometheus text-format (0.0.4) parser — the validation half
+// of the exposition pillar. It is used three ways: the handler tests
+// validate /metrics output against it, `make obs-smoke` validates a
+// scrape of a live spraybulk process, and cmd/spraymon consumes scrapes
+// through it. It enforces the parts of the format a real Prometheus
+// server would reject: metric/label name syntax, quoted and escaped
+// label values, parseable sample values, TYPE declarations preceding
+// samples, no duplicate series, and histogram invariants (cumulative
+// non-decreasing buckets, a +Inf bucket equal to _count, _sum/_count
+// present).
+
+// PromSample is one parsed series sample.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// LabelString renders the labels in sorted key order — the dedup key.
+func (s PromSample) LabelString() string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, s.Labels[k])
+	}
+	return b.String()
+}
+
+// PromScrape is one parsed exposition payload.
+type PromScrape struct {
+	Samples []PromSample
+	// Types maps metric family name to its declared TYPE.
+	Types map[string]string
+}
+
+// Value returns the sample value for a series, matching on name and the
+// given label pairs ("k=v"); ok is false when absent.
+func (p *PromScrape) Value(name string, labels ...string) (v float64, ok bool) {
+	for _, s := range p.Samples {
+		if s.Name != name {
+			continue
+		}
+		match := true
+		for _, kv := range labels {
+			k, val, _ := strings.Cut(kv, "=")
+			if s.Labels[k] != val {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Series returns all samples of one metric name.
+func (p *PromScrape) Series(name string) []PromSample {
+	var out []PromSample
+	for _, s := range p.Samples {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// baseFamily strips histogram/summary suffixes to the declared family.
+func baseFamily(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// ParseProm parses and validates one exposition payload.
+func ParseProm(r io.Reader) (*PromScrape, error) {
+	out := &PromScrape{Types: map[string]string{}}
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				name, typ := fields[2], ""
+				if len(fields) == 4 {
+					typ = strings.TrimSpace(fields[3])
+				}
+				if !validMetricName(name) {
+					return nil, fmt.Errorf("prom: line %d: bad metric name %q in TYPE", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("prom: line %d: bad TYPE %q for %s", lineNo, typ, name)
+				}
+				if _, dup := out.Types[name]; dup {
+					return nil, fmt.Errorf("prom: line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				out.Types[name] = typ
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("prom: line %d: %w", lineNo, err)
+		}
+		family := baseFamily(s.Name)
+		if _, ok := out.Types[family]; !ok {
+			if _, ok := out.Types[s.Name]; !ok {
+				return nil, fmt.Errorf("prom: line %d: sample %s before any TYPE declaration", lineNo, s.Name)
+			}
+		}
+		key := s.Name + "{" + s.LabelString() + "}"
+		if seen[key] {
+			return nil, fmt.Errorf("prom: line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		out.Samples = append(out.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := out.validateHistograms(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSampleLine parses `name{label="value",...} value [timestamp]`.
+func parseSampleLine(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, " \t")
+			if rest == "" {
+				return s, fmt.Errorf("unterminated label set")
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return s, fmt.Errorf("label without '=' near %q", rest)
+			}
+			lname := strings.TrimSpace(rest[:eq])
+			if !validLabelName(lname) {
+				return s, fmt.Errorf("bad label name %q", lname)
+			}
+			rest = rest[eq+1:]
+			if rest == "" || rest[0] != '"' {
+				return s, fmt.Errorf("label %s value not quoted", lname)
+			}
+			val, n, err := unquoteLabel(rest)
+			if err != nil {
+				return s, fmt.Errorf("label %s: %w", lname, err)
+			}
+			if _, dup := s.Labels[lname]; dup {
+				return s, fmt.Errorf("duplicate label %s", lname)
+			}
+			s.Labels[lname] = val
+			rest = rest[n:]
+			rest = strings.TrimLeft(rest, " \t")
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+			}
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("want 'value [timestamp]' after series, got %q", rest)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// unquoteLabel consumes a quoted, escaped label value starting at
+// rest[0] == '"'; returns the value and bytes consumed.
+func unquoteLabel(rest string) (string, int, error) {
+	var b strings.Builder
+	for i := 1; i < len(rest); i++ {
+		c := rest[i]
+		switch c {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			i++
+			if i >= len(rest) {
+				return "", 0, fmt.Errorf("trailing backslash")
+			}
+			switch rest[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("bad escape \\%c", rest[i])
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return v, nil
+}
+
+// validateHistograms checks every TYPE histogram family: buckets
+// cumulative and non-decreasing in le order, a +Inf bucket present and
+// equal to _count, and _sum/_count series present per label set.
+func (p *PromScrape) validateHistograms() error {
+	for family, typ := range p.Types {
+		if typ != "histogram" {
+			continue
+		}
+		type hist struct {
+			byLE  map[float64]float64
+			les   []float64
+			sum   *float64
+			count *float64
+		}
+		hists := map[string]*hist{}
+		get := func(ls string) *hist {
+			h, ok := hists[ls]
+			if !ok {
+				h = &hist{byLE: map[float64]float64{}}
+				hists[ls] = h
+			}
+			return h
+		}
+		for _, s := range p.Samples {
+			labels := make(map[string]string, len(s.Labels))
+			for k, v := range s.Labels {
+				if k != "le" {
+					labels[k] = v
+				}
+			}
+			ls := PromSample{Labels: labels}.LabelString()
+			switch s.Name {
+			case family + "_bucket":
+				leStr, ok := s.Labels["le"]
+				if !ok {
+					return fmt.Errorf("prom: %s_bucket{%s} without le label", family, ls)
+				}
+				le, err := parsePromValue(leStr)
+				if err != nil {
+					return fmt.Errorf("prom: %s_bucket bad le %q", family, leStr)
+				}
+				h := get(ls)
+				h.byLE[le] = s.Value
+				h.les = append(h.les, le)
+			case family + "_sum":
+				v := s.Value
+				get(ls).sum = &v
+			case family + "_count":
+				v := s.Value
+				get(ls).count = &v
+			}
+		}
+		for ls, h := range hists {
+			if h.sum == nil || h.count == nil {
+				return fmt.Errorf("prom: histogram %s{%s} missing _sum or _count", family, ls)
+			}
+			if len(h.les) == 0 {
+				return fmt.Errorf("prom: histogram %s{%s} has no buckets", family, ls)
+			}
+			sort.Float64s(h.les)
+			prev := math.Inf(-1)
+			last := 0.0
+			for _, le := range h.les {
+				v := h.byLE[le]
+				if v < last {
+					return fmt.Errorf("prom: histogram %s{%s} bucket le=%g decreases (%g < %g)", family, ls, le, v, last)
+				}
+				last = v
+				prev = le
+			}
+			if !math.IsInf(prev, 1) {
+				return fmt.Errorf("prom: histogram %s{%s} missing +Inf bucket", family, ls)
+			}
+			if inf := h.byLE[math.Inf(1)]; inf != *h.count {
+				return fmt.Errorf("prom: histogram %s{%s} +Inf bucket %g != _count %g", family, ls, inf, *h.count)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// notify, stopNotify and reraise isolate the signal plumbing of the
+// flight recorder's SIGQUIT dump so the ring logic stays testable
+// without touching process signal state.
+
+func notify(ch chan os.Signal, sigs ...os.Signal) { signal.Notify(ch, sigs...) }
+
+func stopNotify(ch chan os.Signal) { signal.Stop(ch) }
+
+// reraise restores the default disposition for sig and re-delivers it to
+// the process, so the runtime's stock behavior (stack dump + exit for
+// SIGQUIT) follows the flight dump. Signals that cannot be re-raised
+// portably are simply swallowed after the dump.
+func reraise(ch chan os.Signal, sig os.Signal) {
+	ssig, ok := sig.(syscall.Signal)
+	if !ok {
+		return
+	}
+	signal.Stop(ch)
+	signal.Reset(sig)
+	_ = syscall.Kill(syscall.Getpid(), ssig)
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bufio"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"testing"
+	"time"
+)
+
+// TestObsSmokeSpraybulkScrape is the end-to-end smoke behind `make
+// obs-smoke`: build the spraybulk harness, start it with -metrics-http
+// on an ephemeral port and -linger so the server outlives the tiny run,
+// scrape /metrics and validate the exposition with ParseProm, check the
+// flight endpoint answers, then kill the process.
+func TestObsSmokeSpraybulkScrape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "spraybulk")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/spraybulk")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build spraybulk: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-workload", "conv", "-n", "20000", "-max-threads", "2",
+		"-repeats", "1", "-min-time", "1ms", "-json", "",
+		"-metrics-http", "127.0.0.1:0", "-linger", "2m")
+	cmd.Dir = t.TempDir()
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stdout = nil
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The harness announces the bound address on stderr before running.
+	addrRe := regexp.MustCompile(`live metrics on (http://[^/\s]+)/metrics`)
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+				addrCh <- m[1]
+				break
+			}
+		}
+		close(addrCh)
+	}()
+	var base string
+	select {
+	case base = <-addrCh:
+		if base == "" {
+			t.Fatal("spraybulk exited without announcing a metrics address")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for the metrics address")
+	}
+
+	// Scrape until the diagnostics poller (250 ms inside the harness) has
+	// recorded at least one flight entry. Providers come and go with each
+	// measured point, so flight entries are the deterministic liveness
+	// signal; every successful scrape is format-validated along the way.
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(60 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(base + "/metrics")
+		if err != nil {
+			lastErr = err
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		scrape, err := ParseProm(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("live /metrics failed validation: %v", err)
+		}
+		lastErr = nil
+		if v, ok := scrape.Value("spray_flight_entries"); ok && v > 0 {
+			// The instrumented points export full per-strategy series while
+			// attached; whenever one is visible it must carry all kinds.
+			if p, _ := scrape.Value("spray_providers"); p > 0 &&
+				len(scrape.Series("spray_events_total")) == 0 {
+				t.Error("providers registered but no counter series")
+			}
+			// The diagnostics endpoints must be live too (the harness
+			// enables the flight recorder with -metrics-http).
+			fr, err := client.Get(base + "/debug/spray/flight")
+			if err != nil {
+				t.Fatalf("flight endpoint: %v", err)
+			}
+			fr.Body.Close()
+			if fr.StatusCode != http.StatusOK {
+				t.Errorf("flight endpoint status %d", fr.StatusCode)
+			}
+			return
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if lastErr != nil {
+		t.Fatalf("never scraped a flight entry; last error: %v", lastErr)
+	}
+	t.Fatal("never scraped a flight entry (spray_flight_entries stayed 0)")
+}
+
+// TestMain keeps the package's global provider/diagnostics state from
+// leaking between tests that share the process.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	Disable()
+	os.Exit(code)
+}

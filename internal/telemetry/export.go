@@ -5,17 +5,36 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
+	"strconv"
 	"sync"
+	"time"
 )
 
 // The export registry: every Recorder that spray.Instrument attaches is
 // registered here so one expvar variable can render the live counters of
 // every instrumented reducer in the process. Registration is explicit —
 // constructing a Recorder alone does not publish anything.
+//
+// regMu also guards the scrape render cache below: a scrape holds it for
+// the whole snapshot-and-render, so Register/Unregister during an
+// in-flight scrape serialize cleanly instead of racing the cached maps.
 var (
 	regMu     sync.Mutex
 	recorders []*Recorder
 	published = map[string]bool{}
+
+	// Render cache for the expvar export path. A long-lived process is
+	// scraped forever (1 Hz Prometheus sidecars, spraymon), so the
+	// per-scrape snapshot→map conversion reuses one map per recorder and
+	// one byte buffer: after the first scrape has sized everything, a
+	// steady-state render allocates nothing (MapInto reuses map buckets,
+	// strconv appends into the retained buffer). Entries are dropped on
+	// Unregister so detached recorders are not kept alive.
+	exportMaps  = map[*Recorder]map[string]uint64{}
+	exportTotal map[string]uint64
+	exportBuf   []byte
+	exportKeys  []string
 )
 
 // Register adds r to the live-export registry. Registering the same
@@ -37,10 +56,12 @@ func Register(r *Recorder) {
 // Unregister removes r from the live-export registry. The vacated tail
 // slot is cleared so the backing array does not keep the recorder (and
 // its shards) alive — repeated Instrument/Detach cycles, as in
-// per-benchmark-point instrumentation, must not accumulate anything.
+// per-benchmark-point instrumentation, must not accumulate anything. The
+// render cache entry is dropped for the same reason.
 func Unregister(r *Recorder) {
 	regMu.Lock()
 	defer regMu.Unlock()
+	delete(exportMaps, r)
 	for i, have := range recorders {
 		if have == r {
 			copy(recorders[i:], recorders[i+1:])
@@ -76,43 +97,127 @@ func Publish(name string) {
 	}
 	published[name] = true
 	regMu.Unlock()
-	expvar.Publish(name, expvar.Func(exportValue))
+	expvar.Publish(name, exportVar{})
 }
 
-// exportValue builds the JSON-marshalable live view of all registered
-// recorders.
-func exportValue() any {
-	type recView struct {
-		Name     string            `json:"name"`
-		Counters map[string]uint64 `json:"counters"`
-	}
+// exportVar renders the registry as JSON on demand. It implements
+// expvar.Var via String — not expvar.Func — so the whole render happens
+// under regMu inside one call: expvar marshals the returned string by
+// embedding it verbatim, leaving no window where a second scrape could
+// mutate shared cached maps while the first is still being serialized.
+type exportVar struct{}
+
+func (exportVar) String() string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	// The []byte→string copy must happen under the lock too: the returned
+	// slice aliases the shared cached buffer, which the next scrape
+	// rewrites in place.
+	return string(exportRenderLocked())
+}
+
+// exportRender builds the JSON scrape payload into the cached buffer and
+// returns it. Steady state (registry unchanged since the last scrape) is
+// allocation-free; the only per-scrape allocation on the export path is
+// the []byte→string copy in exportVar.String, which the expvar interface
+// forces. Callers must not retain the returned slice across scrapes.
+func exportRender() []byte {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return exportRenderLocked()
+}
+
+func exportRenderLocked() []byte {
 	var total Snapshot
-	views := make([]recView, 0, 8)
-	for _, r := range Registered() {
+	buf := exportBuf[:0]
+	buf = append(buf, `{"recorders":[`...)
+	for i, r := range recorders {
 		snap := r.Snapshot()
 		total.Merge(snap)
-		views = append(views, recView{Name: r.Name(), Counters: snap.Map()})
+		m, ok := exportMaps[r]
+		if !ok {
+			m = make(map[string]uint64, NumKinds)
+			exportMaps[r] = m
+		}
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `{"name":`...)
+		buf = strconv.AppendQuote(buf, r.Name())
+		buf = append(buf, `,"counters":`...)
+		buf = appendCounterJSON(buf, snap.MapInto(m))
+		buf = append(buf, '}')
 	}
-	return map[string]any{
-		"recorders": views,
-		"totals":    total.Map(),
+	buf = append(buf, `],"totals":`...)
+	exportTotal = total.MapInto(exportTotal)
+	buf = appendCounterJSON(buf, exportTotal)
+	buf = append(buf, '}')
+	exportBuf = buf
+	return buf
+}
+
+// appendCounterJSON renders a counter map as a JSON object with keys in
+// sorted order (stable scrape output), reusing the package key scratch
+// slice so steady-state renders stay allocation-free.
+func appendCounterJSON(buf []byte, m map[string]uint64) []byte {
+	keys := exportKeys[:0]
+	for k := range m {
+		keys = append(keys, k)
 	}
+	sort.Strings(keys)
+	exportKeys = keys
+	buf = append(buf, '{')
+	for i, k := range keys {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendQuote(buf, k)
+		buf = append(buf, ':')
+		buf = strconv.AppendUint(buf, m[k], 10)
+	}
+	return append(buf, '}')
 }
 
 // Handler returns the expvar scrape handler (the same payload that
 // /debug/vars serves), for embedding in an existing mux.
 func Handler() http.Handler { return expvar.Handler() }
 
-// Serve starts an HTTP server on addr exposing the process's expvar
-// variables (including everything Publish exported) at /debug/vars. It
-// returns the bound address — pass ":0" for an ephemeral port — and keeps
-// serving until the process exits.
-func Serve(addr string) (string, error) {
+// Server is a running metrics listener. Addr is the bound address to
+// scrape; Close shuts the listener down — tests and embedders must close
+// it rather than leak the port for the process lifetime.
+type Server struct {
+	srv  *http.Server
+	addr string
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.addr }
+
+// Close immediately shuts down the server and closes its listener.
+// Closing twice is safe.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts an HTTP server on addr — pass ":0" or "localhost:0" for
+// an ephemeral port — serving h (nil selects http.DefaultServeMux, where
+// expvar registers /debug/vars). The server carries read-header and idle
+// timeouts so a stuck or slowloris client cannot pin a connection to the
+// long-lived metrics port forever, and the returned handle exposes the
+// bound address and a shutdown method.
+func Serve(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("telemetry: metrics listener: %w", err)
+		return nil, fmt.Errorf("telemetry: metrics listener: %w", err)
 	}
-	srv := &http.Server{Handler: http.DefaultServeMux}
-	go srv.Serve(ln) //nolint:errcheck — runs for process lifetime
-	return ln.Addr().String(), nil
+	if h == nil {
+		h = http.DefaultServeMux
+	}
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go srv.Serve(ln) //nolint:errcheck — ends when the handle is closed
+	return &Server{srv: srv, addr: ln.Addr().String()}, nil
 }

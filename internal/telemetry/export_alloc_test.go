@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExportRenderZeroSteadyStateAlloc pins the scrape-path budget: after
+// the first render has sized the cached maps and buffer, a steady-state
+// expvar render must not allocate. A 1 Hz Prometheus sidecar or spraymon
+// scraping a long-lived service must not turn into GC pressure.
+func TestExportRenderZeroSteadyStateAlloc(t *testing.T) {
+	r1 := NewRecorder("alloc-probe-a", 2)
+	r2 := NewRecorder("alloc-probe-b", 2)
+	Register(r1)
+	Register(r2)
+	t.Cleanup(func() { Unregister(r1); Unregister(r2) })
+	r1.Shard(0).Add(Updates, 11)
+	r1.Shard(1).Add(CASRetries, 3)
+	r2.Shard(0).Add(KeeperForeign, 7)
+
+	exportRender() // warm the caches
+	if allocs := testing.AllocsPerRun(100, func() { exportRender() }); allocs != 0 {
+		t.Errorf("steady-state exportRender allocates %.1f/op, want 0", allocs)
+	}
+
+	// The payload must still be the valid registry view.
+	var view struct {
+		Recorders []struct {
+			Name     string            `json:"name"`
+			Counters map[string]uint64 `json:"counters"`
+		} `json:"recorders"`
+		Totals map[string]uint64 `json:"totals"`
+	}
+	if err := json.Unmarshal(exportRender(), &view); err != nil {
+		t.Fatalf("render not valid JSON: %v", err)
+	}
+	if view.Totals["updates"] < 11 || view.Totals["keeper-foreign"] < 7 {
+		t.Errorf("totals %v", view.Totals)
+	}
+
+	// Counters moving between scrapes must not reintroduce allocations:
+	// MapInto rewrites values into the same buckets.
+	r1.Shard(0).Add(Updates, 1)
+	exportRender()
+	if allocs := testing.AllocsPerRun(100, func() {
+		r1.Shard(0).Add(Updates, 1)
+		exportRender()
+	}); allocs != 0 {
+		t.Errorf("render with moving counters allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSnapshotMapIntoReusesDestination(t *testing.T) {
+	var s Snapshot
+	s[Updates] = 5
+	s[CASRetries] = 2
+	dst := make(map[string]uint64, NumKinds)
+	if got := s.MapInto(dst); len(got) != 2 || got["updates"] != 5 {
+		t.Fatalf("MapInto = %v", got)
+	}
+	// A key that drops to zero must vanish from the reused map.
+	s[CASRetries] = 0
+	s[Updates] = 9
+	got := s.MapInto(dst)
+	if _, ok := got["cas-retries"]; ok {
+		t.Error("stale zeroed key survived MapInto")
+	}
+	if got["updates"] != 9 {
+		t.Errorf("updates = %d, want 9", got["updates"])
+	}
+	if allocs := testing.AllocsPerRun(100, func() { s.MapInto(dst) }); allocs != 0 {
+		t.Errorf("warm MapInto allocates %.1f/op, want 0", allocs)
+	}
+	// nil destination still works (allocates a fresh map).
+	if got := s.MapInto(nil); got["updates"] != 9 {
+		t.Errorf("MapInto(nil) = %v", got)
+	}
+}
+
+func TestSnapshotDeltaClampsAtZero(t *testing.T) {
+	var cur, prev Snapshot
+	cur[Updates], prev[Updates] = 10, 4
+	cur[CASRetries], prev[CASRetries] = 1, 5 // counter reset between polls
+	d := cur.Delta(prev)
+	if d[Updates] != 6 {
+		t.Errorf("delta updates = %d, want 6", d[Updates])
+	}
+	if d[CASRetries] != 0 {
+		t.Errorf("reset counter delta = %d, want clamp to 0", d[CASRetries])
+	}
+}
+
+// TestTelemetryConcurrentRegisterDuringScrape hammers Register/Unregister
+// while scrapes render, under -race: the registry mutation and the cached
+// render maps must serialize under one lock.
+func TestTelemetryConcurrentRegisterDuringScrape(t *testing.T) {
+	const workers, iters = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r := NewRecorder("churn-probe", 1)
+				Register(r)
+				r.Shard(0).Add(Updates, 1)
+				Unregister(r)
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				out := exportVar{}.String()
+				if !strings.HasPrefix(out, `{"recorders":[`) {
+					t.Errorf("scrape corrupted: %.60s", out)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Churned recorders must leave no cache entries behind.
+	regMu.Lock()
+	n := len(exportMaps)
+	live := len(recorders)
+	regMu.Unlock()
+	if n > live {
+		t.Errorf("render cache holds %d entries for %d live recorders", n, live)
+	}
+}

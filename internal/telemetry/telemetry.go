@@ -411,16 +411,46 @@ func (s Snapshot) Total() uint64 {
 	return t
 }
 
-// Map returns the nonzero counters keyed by their external names — the
-// form embedded in bench points and the expvar export.
-func (s Snapshot) Map() map[string]uint64 {
-	out := make(map[string]uint64)
+// Delta returns the slot-wise difference s - prev, clamping each slot at
+// zero — the per-interval view a scraper or the anomaly detector derives
+// from two successive snapshots of monotonically increasing counters. A
+// slot that went backwards (recorder Reset between the snapshots) reads
+// as zero rather than wrapping.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	var out Snapshot
 	for k, v := range s {
-		if v != 0 {
-			out[Kind(k).String()] = v
+		if v > prev[k] {
+			out[k] = v - prev[k]
 		}
 	}
 	return out
+}
+
+// Map returns the nonzero counters keyed by their external names — the
+// form embedded in bench points and the expvar export.
+func (s Snapshot) Map() map[string]uint64 {
+	return s.MapInto(make(map[string]uint64))
+}
+
+// MapInto fills dst with the nonzero counters keyed by their external
+// names, removing stale keys, and returns dst (allocating it only when
+// nil). Steady-state callers that reuse dst across snapshots — the 1 Hz
+// expvar scrape path — pay zero allocations once the map has seen every
+// key it will hold: kind names are preallocated package constants and
+// deleting plus re-adding keys reuses a Go map's buckets.
+func (s Snapshot) MapInto(dst map[string]uint64) map[string]uint64 {
+	if dst == nil {
+		dst = make(map[string]uint64)
+	}
+	for k, v := range s {
+		name := Kind(k).String()
+		if v != 0 {
+			dst[name] = v
+		} else {
+			delete(dst, name)
+		}
+	}
+	return dst
 }
 
 // String renders the nonzero counters as "name=value" pairs in kind

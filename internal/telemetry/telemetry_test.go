@@ -217,11 +217,12 @@ func TestRegistryAndExport(t *testing.T) {
 }
 
 func TestServeBindsAndServes(t *testing.T) {
-	addr, err := Serve("127.0.0.1:0")
+	srv, err := Serve("127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatalf("serve: %v", err)
 	}
-	resp, err := http.Get("http://" + addr + "/debug/vars")
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/vars")
 	if err != nil {
 		t.Fatalf("scrape: %v", err)
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"spray/internal/core"
+	"spray/internal/obs"
 	"spray/internal/par"
 	"spray/internal/telemetry"
 )
@@ -57,6 +58,21 @@ func Instrument[T Value](t *Team, r Reducer[T]) *Instrumentation {
 		in.ownsTiming = true
 	}
 	telemetry.Register(in.rec)
+	in.provID = obs.RegisterProvider(func() obs.Sample {
+		r := in.Report()
+		return obs.Sample{
+			Strategy:    r.Strategy,
+			Threads:     r.Threads,
+			Regions:     r.Regions,
+			Wall:        r.Wall,
+			BarrierWait: r.BarrierWait,
+			Busy:        r.Busy,
+			Bytes:       r.Bytes,
+			PeakBytes:   r.PeakBytes,
+			Counters:    r.Counters,
+			Hists:       r.Latencies,
+		}
+	})
 	return in
 }
 
@@ -71,6 +87,7 @@ type Instrumentation struct {
 	bytes      func() int64
 	peak       func() int64
 	detach     func()
+	provID     uint64
 	ownsTiming bool
 	tracer     *telemetry.Tracer
 	ownsTracer bool
@@ -168,6 +185,7 @@ func (in *Instrumentation) Detach() {
 		in.detach = nil
 	}
 	telemetry.Unregister(in.rec)
+	obs.UnregisterProvider(in.provID)
 	if in.ownsTiming && in.team.Timing() == in.tm {
 		in.team.SetTiming(nil)
 	}
@@ -176,10 +194,28 @@ func (in *Instrumentation) Detach() {
 	}
 }
 
+// MetricsServer is a running metrics listener: Addr() is the bound
+// address to scrape, Close() shuts it down. ServeMetrics returns one so
+// embedders and tests stop the listener instead of leaking the port.
+type MetricsServer = telemetry.Server
+
 // ServeMetrics starts an HTTP server on addr (e.g. "localhost:6060", or
-// ":0" for an ephemeral port) exposing every published recorder on
-// /debug/vars in expvar's JSON format, and returns the bound address.
-func ServeMetrics(addr string) (string, error) { return telemetry.Serve(addr) }
+// ":0" for an ephemeral port) serving the diagnostics mux:
+//
+//	/metrics             Prometheus text exposition of every
+//	                     instrumented reducer (counters, latency
+//	                     histograms, region gauges)
+//	/debug/vars          expvar JSON (the published recorders)
+//	/debug/spray/flight  flight recorder dump (404 until
+//	                     EnableFlightRecorder)
+//	/debug/spray/events  structured event feed (404 likewise)
+//
+// The server carries read and idle timeouts so a stuck client cannot pin
+// the metrics port, and the returned handle exposes the bound address
+// and a Close method.
+func ServeMetrics(addr string) (*MetricsServer, error) {
+	return telemetry.Serve(addr, obs.Handler())
+}
 
 // RegionReport is one telemetry snapshot for a (team, reducer) pair:
 // region lifecycle timing from the team, memory and strategy counters from
