@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci build vet lint test race race-telemetry bce-audit bench-smoke overhead-smoke obs-smoke bench-bulk bench-observability bench-gate bench-scatter clean
+.PHONY: ci build vet lint test race race-telemetry bce-audit bench-smoke overhead-smoke hotspot-accuracy obs-smoke bench-bulk bench-observability bench-gate bench-scatter clean
 
 # ci is the tier-1 gate plus cheap benchmark compile-and-run checks,
-# including the telemetry-off overhead guard, the live-metrics smoke and
-# the benchmark regression gate.
-ci: vet lint build test race race-telemetry bce-audit bench-smoke overhead-smoke obs-smoke bench-gate bench-scatter
+# including the telemetry-off overhead guard, the contention-profiler
+# accuracy check, the live-metrics smoke and the benchmark regression
+# gate.
+ci: vet lint build test race race-telemetry bce-audit bench-smoke overhead-smoke hotspot-accuracy obs-smoke bench-gate bench-scatter
 
 build:
 	$(GO) build ./...
@@ -58,11 +59,12 @@ race:
 # race-telemetry focuses the race detector on the observability layer
 # and the concurrent scatter machinery: counter shards, region timing,
 # latency histograms, trace rings, panic wrapping, the export registry,
-# the keeper mailbox publish/drain protocol, the binned wrapper, and the
-# diagnostics subsystem (Prometheus rendering, flight recorder, anomaly
-# detector, event rings, spraymon digestion).
+# the keeper mailbox publish/drain protocol, the binned wrapper, the
+# index-space contention profiler (sketches, top-K tables, heatmap
+# exposition), and the diagnostics subsystem (Prometheus rendering,
+# flight recorder, anomaly detector, event rings, spraymon digestion).
 race-telemetry:
-	$(GO) test -race -short -run 'Telemetry|Instrument|Timing|WorkerPanic|Concurrent|Trace|Hist|Sample|Latency|Mailbox|Drain|Binned|Prom|Flight|Anomal|Event|Monitor|Diagnostics|ServeMetrics|CASStorm|ObsOff' ./internal/telemetry ./internal/par ./internal/core ./internal/memtrack ./internal/scatter ./internal/experiments ./internal/obs .
+	$(GO) test -race -short -run 'Telemetry|Instrument|Timing|WorkerPanic|Concurrent|Trace|Hist|Sample|Latency|Mailbox|Drain|Binned|Prom|Flight|Anomal|Event|Monitor|Diagnostics|ServeMetrics|CASStorm|ObsOff|Hotspot|Hotline|Heatmap' ./internal/telemetry ./internal/par ./internal/core ./internal/memtrack ./internal/scatter ./internal/experiments ./internal/obs ./internal/hotspot .
 
 # bench-smoke proves the bulk benchmarks run end to end without timing
 # anything meaningful (100 iterations per case).
@@ -70,12 +72,23 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkBulk' -benchtime 100x .
 
 # overhead-smoke asserts the telemetry-off budget (the gated accessor must
-# stay within 2% of an ungated replica) and exercises the off/on conv
-# benchmarks once — both the telemetry layer and the diagnostics layer
-# (flight recorder + anomaly poller) on top of it.
+# stay within 2% of an ungated replica), the contention-profiler budget
+# (the profiler-enabled keeper accessor must stay within 2% of the
+# detached one, and the disabled paths must not allocate), and exercises
+# the off/on conv benchmarks once — the telemetry layer, the profiler
+# and the diagnostics layer (flight recorder + anomaly poller) on top.
 overhead-smoke:
 	$(GO) test -run TestTelemetryOffOverhead -count 1 ./internal/core
-	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverheadConv|BenchmarkObsOffOverheadConv' -benchtime 20x .
+	$(GO) test -run 'TestHotspotOffOverhead|TestHotspotOffPathNoAlloc|TestHotspotOnPathNoAllocSteadyState' -count 1 ./internal/core
+	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverheadConv|BenchmarkObsOffOverheadConv|BenchmarkHotspotOverheadConv' -benchtime 20x .
+
+# hotspot-accuracy proves the sampled count-min/top-K profiler agrees
+# with the advisor's exact conflict ranking: the sampled top-16 hot
+# lines must recover >= 80% of the exactly-computed conflicted lines on
+# the conv back-propagation and banded transpose-matrix-vector
+# workloads.
+hotspot-accuracy:
+	$(GO) test -run TestHotspotAccuracy -count 1 ./internal/advisor
 
 # obs-smoke is the end-to-end live-metrics check: build spraybulk, start
 # it with -metrics-http on an ephemeral port, scrape /metrics until the
@@ -86,15 +99,16 @@ obs-smoke:
 	$(GO) test -run TestObsSmokeSpraybulkScrape -count 1 -v ./internal/obs
 
 # bench-bulk produces the each-vs-bulk comparison tables and
-# BENCH_bulk.json at a size that finishes in a few minutes.
+# results/BENCH_bulk.json at a size that finishes in a few minutes.
+# results/ is the canonical home of every benchmark JSON artifact.
 bench-bulk:
-	$(GO) run ./cmd/spraybulk -json BENCH_bulk.json
+	$(GO) run ./cmd/spraybulk -json results/BENCH_bulk.json
 
 # bench-observability runs the bulk comparison instrumented: every
 # measured point carries its strategy counters in the JSON, and a region
 # report per point goes to stdout.
 bench-observability:
-	$(GO) run ./cmd/spraybulk -n 200000 -max-threads 4 -repeats 1 -min-time 20ms -metrics -json BENCH_observability.json
+	$(GO) run ./cmd/spraybulk -n 200000 -max-threads 4 -repeats 1 -min-time 20ms -metrics -json results/BENCH_observability.json
 
 # bench-gate is the benchmark regression gate. It first self-tests the
 # detector on the checked-in fixture pair (a synthetic 50% regression
@@ -108,10 +122,10 @@ bench-observability:
 bench-gate:
 	$(GO) run ./cmd/benchdiff -expect-regression -q cmd/benchdiff/testdata/base.json cmd/benchdiff/testdata/regressed.json
 	@mkdir -p results
-	$(GO) run ./cmd/spraybulk -n 100000 -max-threads 2 -repeats 2 -min-time 10ms -workload conv -json BENCH_gate.json
-	$(GO) run ./cmd/benchdiff -gate -sigma 4 -min-rel 0.25 results/bench_baseline.json BENCH_gate.json
-	$(GO) run ./cmd/spraybulk -n 60000 -max-threads 2 -repeats 2 -min-time 10ms -workload plan -plan-iters 1,4,16 -json BENCH_plan.json
-	$(GO) run ./cmd/benchdiff -gate -sigma 4 -min-rel 0.75 results/bench_baseline.json BENCH_plan.json
+	$(GO) run ./cmd/spraybulk -n 100000 -max-threads 2 -repeats 2 -min-time 10ms -workload conv -json results/BENCH_gate.json
+	$(GO) run ./cmd/benchdiff -gate -sigma 4 -min-rel 0.25 results/bench_baseline.json results/BENCH_gate.json
+	$(GO) run ./cmd/spraybulk -n 60000 -max-threads 2 -repeats 2 -min-time 10ms -workload plan -plan-iters 1,4,16 -json results/BENCH_plan.json
+	$(GO) run ./cmd/benchdiff -gate -sigma 4 -min-rel 0.75 results/bench_baseline.json results/BENCH_plan.json
 
 # bench-scatter records the binned-vs-unbinned write-combining
 # comparison (duplicate-heavy conv adjoint stream + banded transpose
@@ -123,9 +137,13 @@ bench-gate:
 # (the fixture self-test's 50%-on-stable-points class), not a profiler.
 bench-scatter:
 	@mkdir -p results
-	$(GO) run ./cmd/spraybulk -n 100000 -max-threads 2 -repeats 3 -min-time 20ms -workload scatter -json BENCH_scatter.json
-	$(GO) run ./cmd/benchdiff -gate -sigma 4 -min-rel 0.75 results/bench_baseline.json BENCH_scatter.json
+	$(GO) run ./cmd/spraybulk -n 100000 -max-threads 2 -repeats 3 -min-time 20ms -workload scatter -json results/BENCH_scatter.json
+	$(GO) run ./cmd/benchdiff -gate -sigma 4 -min-rel 0.75 results/bench_baseline.json results/BENCH_scatter.json
 
+# clean removes the transient benchmark artifacts (root-level BENCH
+# files are stale copies from before results/ became canonical); the
+# tracked results/BENCH_scatter.json reference is left alone.
 clean:
-	rm -f BENCH_bulk.json BENCH_observability.json BENCH_gate.json BENCH_scatter.json BENCH_plan.json
+	rm -f BENCH_*.json
+	rm -f results/BENCH_bulk.json results/BENCH_observability.json results/BENCH_gate.json results/BENCH_plan.json
 	$(GO) clean ./...

@@ -10,6 +10,15 @@
 //	sprayadvise -workload conv
 //	sprayadvise -workload tmv -threads 8
 //	sprayadvise -workload all
+//
+// With -profile, the advisor instead reads sampled hot-line contention
+// profiles (the JSON written by spraybulk/sprayall -hotprofile, or
+// saved from /debug/spray/heatmap) and recommends a strategy per
+// profile from the measured conflict classes, rates, and hot-line
+// concentration:
+//
+//	spraybulk -workload conv -hotprofile hot.json
+//	sprayadvise -profile hot.json
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"os"
 
 	"spray/internal/advisor"
+	"spray/internal/hotspot"
 	"spray/internal/par"
 	"spray/internal/sparse"
 )
@@ -30,8 +40,14 @@ func main() {
 		block    = flag.Int("block", 0, "block size for locality metrics (0 = spray default)")
 		size     = flag.Int("n", 1_000_000, "problem size")
 		iters    = flag.Int("iters", 1, "expected repetitions of the region with an identical pattern (>1 enables the iterative plan recommendation)")
+		profile  = flag.String("profile", "", "recommend from a sampled hot-line contention profile file instead of recording a workload")
 	)
 	flag.Parse()
+
+	if *profile != "" {
+		fromProfile(*profile)
+		return
+	}
 
 	run := map[string]func(){
 		"conv":      func() { conv(*size, *threads, *block, *iters) },
@@ -129,6 +145,39 @@ func histogram(samples, threads, block, iters int) {
 		}
 	}
 	printReport(r.Analyze(), iters)
+}
+
+// fromProfile loads sampled contention profiles and prints one
+// profile-guided recommendation per entry.
+func fromProfile(path string) {
+	profiles, err := hotspot.ReadProfiles(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sprayadvise:", err)
+		os.Exit(1)
+	}
+	for _, p := range profiles {
+		fmt.Printf("== %s (N=%d, t=%d) ==\n", p.Strategy, p.N, p.Threads)
+		total := p.TotalConflicts()
+		fmt.Printf("updates            %d\n", p.Updates)
+		fmt.Printf("conflict events    %d", total)
+		if cls, w := p.DominantClass(); cls != "" {
+			fmt.Printf(" (dominant %s: %d)", cls, w)
+		}
+		fmt.Println()
+		if top := p.TopLines(5); len(top) > 0 {
+			fmt.Printf("hottest lines      ")
+			for i, l := range top {
+				if i > 0 {
+					fmt.Print(", ")
+				}
+				fmt.Printf("line %d (idx %d, %d)", l.Line, l.Index, l.Count)
+			}
+			fmt.Printf("\nconcentration      %.0f%% of sampled weight in the top 16 lines\n",
+				100*advisor.ProfileConcentration(p, 16))
+		}
+		rec := advisor.RecommendFromProfile(p)
+		fmt.Printf("recommendation     %s — %s\n\n", rec.Strategy, rec.Reason)
+	}
 }
 
 // printReport renders the analysis and, for repeated regions, the

@@ -22,6 +22,7 @@ import (
 	"spray/internal/bench"
 	"spray/internal/cliutil"
 	"spray/internal/experiments"
+	"spray/internal/hotspot"
 	"spray/internal/sparse"
 	"spray/internal/telemetry"
 )
@@ -35,6 +36,7 @@ func main() {
 		minTime    = flag.Duration("min-time", 100*time.Millisecond, "minimum time per sample")
 		metrics    = flag.Bool("metrics", false, "instrument the conv figures: print a telemetry region report per measured point (stderr) and attach counters to CSV-adjacent data")
 		tracePath  = flag.String("trace", "", "record span timelines for the conv figures and write them as Chrome trace-event JSON to this path")
+		hotPath    = flag.String("hotprofile", "", "attach the index-space contention profiler to the conv, plan and scatter sweeps and write the sampled hot-line profiles (JSON array) to this path")
 		prof       cliutil.Profiling
 		met        cliutil.Metrics
 	)
@@ -69,12 +71,23 @@ func main() {
 		sink = telemetry.NewTraceSink(0)
 	}
 
+	var hotProfiles []*spray.HotspotProfile
+	var onHot func(label string, p *spray.HotspotProfile)
+	if *hotPath != "" {
+		onHot = func(label string, p *spray.HotspotProfile) {
+			if p != nil {
+				hotProfiles = append(hotProfiles, p)
+			}
+		}
+	}
+
 	// Figures 11-13: convolution back-propagation.
 	convCfg := experiments.DefaultConvConfig(convN, *maxThreads)
 	convCfg.Runner = runner
 	convCfg.Instrument = *metrics
 	convCfg.OnReport = onReport
 	convCfg.Trace = sink
+	convCfg.HotProfile = onHot
 	emit(experiments.Fig11(convCfg), *outdir, "fig11.csv")
 	emit(experiments.Fig12(convCfg), *outdir, "fig12.csv")
 	f13 := experiments.DefaultFig13Config(convN, *maxThreads)
@@ -118,6 +131,7 @@ func main() {
 	pcfg.Runner = runner
 	pcfg.Telemetry = *metrics
 	pcfg.OnReport = onReport
+	pcfg.HotProfile = onHot
 	emit(experiments.PlanTMV(pcfg), *outdir, "plan_tmv.csv")
 
 	// Write-combining scatter: binned vs unbinned on the duplicate-heavy
@@ -127,9 +141,14 @@ func main() {
 	scfg.Telemetry = *metrics
 	scfg.OnReport = onReport
 	scfg.Trace = sink
+	scfg.HotProfile = onHot
 	emit(experiments.ScatterConv(scfg), *outdir, "scatter_conv.csv")
 	emit(experiments.ScatterTMV(scfg), *outdir, "scatter_tmv.csv")
 
+	if *hotPath != "" {
+		fatalIf(hotspot.WriteProfiles(*hotPath, hotProfiles))
+		fmt.Fprintf(os.Stderr, "wrote %s (%d hot-line profiles)\n", *hotPath, len(hotProfiles))
+	}
 	if sink != nil {
 		f, err := os.Create(*tracePath)
 		fatalIf(err)

@@ -6,20 +6,28 @@
 // Usage:
 //
 //	spraybulk -n 2000000 -max-threads 8
-//	spraybulk -workload tmv -json BENCH_bulk.json
+//	spraybulk -workload tmv -json results/BENCH_bulk.json
 //
 // The scatter workload instead compares the plain Scatter path against
 // the binned write-combining wrapper (spray.Binned) on duplicate-heavy
 // streams:
 //
-//	spraybulk -workload scatter -json BENCH_scatter.json
+//	spraybulk -workload scatter -json results/BENCH_scatter.json
 //
 // The plan workload sweeps applications-per-solve instead of threads,
 // measuring how the plan-compiled wrapper (spray.Planned) amortizes its
 // record+compile cost against its inner strategies and the MKL-style
 // inspector/executor:
 //
-//	spraybulk -workload plan -json BENCH_plan.json
+//	spraybulk -workload plan -json results/BENCH_plan.json
+//
+// -hotprofile attaches the index-space contention profiler to every
+// measured configuration and writes the sampled hot-line profiles as a
+// JSON array; feed the file to sprayadvise -profile for a
+// profile-guided strategy recommendation:
+//
+//	spraybulk -workload conv -hotprofile hot.json
+//	sprayadvise -profile hot.json
 //
 // Both commands accept -cpuprofile / -memprofile to capture pprof
 // profiles of the run.
@@ -29,12 +37,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"spray"
 	"spray/internal/bench"
 	"spray/internal/cliutil"
 	"spray/internal/experiments"
+	"spray/internal/hotspot"
 	"spray/internal/telemetry"
 )
 
@@ -48,8 +58,9 @@ func main() {
 		planIters  = flag.String("plan-iters", "", "comma-separated applications-per-solve counts for the plan workload (default: 1,2,4,8,16,32)")
 		repeats    = flag.Int("repeats", 3, "samples per configuration")
 		minTime    = flag.Duration("min-time", 100*time.Millisecond, "minimum time per sample")
-		jsonPath   = flag.String("json", "BENCH_bulk.json", "write results as JSON to this path (empty = skip)")
+		jsonPath   = flag.String("json", "results/BENCH_bulk.json", "write results as JSON to this path (empty = skip)")
 		metrics    = flag.Bool("metrics", false, "instrument every run: print a telemetry region report per measured point and attach the counters to the JSON output")
+		hotPath    = flag.String("hotprofile", "", "attach the index-space contention profiler and write the sampled hot-line profiles (JSON array, one per measured configuration) to this path")
 		tracePath  = flag.String("trace", "", "record span timelines and write them as Chrome trace-event JSON to this path (chrome://tracing, ui.perfetto.dev)")
 		prof       cliutil.Profiling
 		met        cliutil.Metrics
@@ -78,6 +89,14 @@ func main() {
 			fmt.Printf("-- %s --\n%s\n", label, rep)
 		}
 	}
+	var hotProfiles []*spray.HotspotProfile
+	if *hotPath != "" {
+		cfg.HotProfile = func(label string, p *spray.HotspotProfile) {
+			if p != nil {
+				hotProfiles = append(hotProfiles, p)
+			}
+		}
+	}
 	if *threads != "" {
 		ths, err := cliutil.ParseInts(*threads)
 		fatalIf(err)
@@ -103,6 +122,7 @@ func main() {
 	pcfg.Runner = cfg.Runner
 	pcfg.Telemetry = cfg.Telemetry
 	pcfg.OnReport = cfg.OnReport
+	pcfg.HotProfile = cfg.HotProfile
 	if *strategies != "" {
 		pcfg.Strategies = cfg.Strategies
 	}
@@ -135,11 +155,18 @@ func main() {
 	}
 
 	if *jsonPath != "" {
+		if dir := filepath.Dir(*jsonPath); dir != "." {
+			fatalIf(os.MkdirAll(dir, 0o755))
+		}
 		f, err := os.Create(*jsonPath)
 		fatalIf(err)
 		fatalIf(bench.WriteJSON(f, results))
 		fatalIf(f.Close())
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+	}
+	if *hotPath != "" {
+		fatalIf(hotspot.WriteProfiles(*hotPath, hotProfiles))
+		fmt.Fprintf(os.Stderr, "wrote %s (%d hot-line profiles)\n", *hotPath, len(hotProfiles))
 	}
 	if sink != nil {
 		f, err := os.Create(*tracePath)

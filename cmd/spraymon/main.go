@@ -3,9 +3,13 @@
 // or an embedder calling spray.ServeMetrics). Each frame renders, per
 // strategy, the counter rates of the last window, the movement of the
 // latency percentiles, and any new anomaly or panic events from the
-// structured feed. It scrapes /metrics (Prometheus text exposition) and
-// falls back to the legacy /debug/vars expvar page when only that is
-// served.
+// structured feed; for reducers with the index-space contention
+// profiler enabled (Instrumentation.EnableHotspot) it adds a heatmap
+// panel — a sparkline of conflict weight across the index space from
+// /debug/spray/heatmap, with the dominant conflict class and the
+// hottest cache lines beneath. It scrapes /metrics (Prometheus text
+// exposition) and falls back to the legacy /debug/vars expvar page
+// when only that is served.
 //
 // Usage:
 //

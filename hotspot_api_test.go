@@ -1,0 +1,117 @@
+package spray_test
+
+import (
+	"testing"
+
+	"spray"
+	"spray/internal/conv"
+)
+
+// TestInstrumentationHotspotEndToEnd drives the public profiler API the
+// way an operator would: instrument a keeper, enable the contention
+// profiler, run a cross-owner reduction, and read the profile back.
+func TestInstrumentationHotspotEndToEnd(t *testing.T) {
+	const n, threads = 1 << 12, 4
+	out := make([]float64, n)
+	team := spray.NewTeam(threads)
+	defer team.Close()
+	r := spray.New(spray.Keeper(), out, threads)
+	in := spray.Instrument(team, r)
+	defer in.Detach()
+
+	if in.Hotspot() != nil || in.HotspotProfile() != nil {
+		t.Fatal("profiler present before EnableHotspot")
+	}
+	prof := in.EnableHotspot(n, spray.HotspotOptions{SamplePeriod: 1})
+	if prof == nil {
+		t.Fatal("EnableHotspot returned nil")
+	}
+	if again := in.EnableHotspot(n, spray.HotspotOptions{}); again != prof {
+		t.Fatal("EnableHotspot is not idempotent")
+	}
+	if in.Hotspot() != prof {
+		t.Fatal("Hotspot() does not return the enabled profiler")
+	}
+
+	// Every member writes the whole array: 3/4 of updates are foreign.
+	spray.RunReduction(team, r, 0, n, spray.Static(),
+		func(acc spray.Accessor[float64], from, to int) {
+			for i := 0; i < n; i++ {
+				acc.Add(i, 1)
+			}
+		})
+
+	p := in.HotspotProfile()
+	if p == nil {
+		t.Fatal("no profile after an enabled run")
+	}
+	if p.Strategy != "keeper" || p.N != n || p.Threads != threads {
+		t.Fatalf("profile identity %q/%d/%d", p.Strategy, p.N, p.Threads)
+	}
+	cm := in.Report().CounterMap()
+	if p.Updates != cm["updates"]+cm["bulk-elems"] {
+		t.Errorf("profile updates = %d, want telemetry updates+bulk-elems = %d",
+			p.Updates, cm["updates"]+cm["bulk-elems"])
+	}
+	if p.Updates == 0 {
+		t.Error("profile has no update denominator")
+	}
+	// Exact sampling: the profiler's foreign total must match the
+	// telemetry counter bump-for-bump.
+	if got := p.Totals["keeper-foreign"]; got != cm["keeper-foreign"] {
+		t.Errorf("profiled foreign events = %d, telemetry counted %d", got, cm["keeper-foreign"])
+	}
+	if cls, _ := p.DominantClass(); cls != "keeper-foreign" {
+		t.Errorf("dominant class %q, want keeper-foreign", cls)
+	}
+	if len(p.TopLines(8)) == 0 {
+		t.Error("no hot lines on a cross-owner workload")
+	}
+	for i := range out {
+		if out[i] != threads {
+			t.Fatalf("out[%d] = %v, want %d (profiling changed the result)", i, out[i], threads)
+		}
+	}
+
+	// Reset must clear the sketches along with the counters.
+	in.Reset()
+	if p := in.HotspotProfile(); p.TotalConflicts() != 0 || p.Updates != 0 {
+		t.Errorf("reset left conflicts=%d updates=%d", p.TotalConflicts(), p.Updates)
+	}
+}
+
+// BenchmarkHotspotOverheadConv measures the conv back-propagation with
+// telemetry alone against telemetry plus the contention profiler at the
+// default 1-in-64 sampling — the end-to-end cost the overhead-smoke
+// budget bounds microscopically in internal/core.
+func BenchmarkHotspotOverheadConv(b *testing.B) {
+	const n, threads = 1 << 20, 2
+	seed := convSeed(n)
+	out := make([]float32, n)
+	w := conv.Weights3[float32]{WL: 0.25, WC: 0.5, WR: 0.25}
+	b.Run("telemetry", func(b *testing.B) {
+		team := spray.NewTeam(threads)
+		defer team.Close()
+		r := spray.New(spray.Keeper(), out, threads)
+		in := spray.Instrument(team, r)
+		defer in.Detach()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.RunBackprop(team, r, seed)
+		}
+		b.SetBytes(int64(n * 4))
+	})
+	b.Run("telemetry+hotspot", func(b *testing.B) {
+		team := spray.NewTeam(threads)
+		defer team.Close()
+		r := spray.New(spray.Keeper(), out, threads)
+		in := spray.Instrument(team, r)
+		defer in.Detach()
+		in.EnableHotspot(n, spray.HotspotOptions{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.RunBackprop(team, r, seed)
+		}
+		b.SetBytes(int64(n * 4))
+	})
+}

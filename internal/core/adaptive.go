@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"unsafe"
 
+	"spray/internal/hotspot"
 	"spray/internal/memtrack"
 	"spray/internal/num"
 	"spray/internal/par"
@@ -76,6 +77,7 @@ type adaptivePrivate[T num.Float] struct {
 	view   [][]T    // per block: nil = atomic regime, else private copy
 	owned  []privBlock[T]
 	tel    *telemetry.Shard
+	hot    *hotspot.Shard
 }
 
 // Add updates through the current regime of the target block, escalating
@@ -90,7 +92,11 @@ func (p *adaptivePrivate[T]) Add(i int, v T) {
 	if p.tel == nil {
 		num.AtomicAdd(p.parent.out, i, v)
 	} else {
-		p.tel.Add(telemetry.CASRetries, num.AtomicAddRetries(p.parent.out, i, v))
+		r := num.AtomicAddRetries(p.parent.out, i, v)
+		p.tel.Add(telemetry.CASRetries, r)
+		if r > 0 {
+			p.hot.RecordW(hotspot.CASRetry, i, uint64(r))
+		}
 	}
 	p.touch[b]++
 	if int(p.touch[b]) > p.parent.bsize>>adaptiveThresholdShift {
@@ -131,7 +137,11 @@ func (p *adaptivePrivate[T]) AddN(base int, vals []T) {
 			} else {
 				retries := 0
 				for j, v := range vals[:n] {
-					retries += num.AtomicAddRetries(out, j, v)
+					r := num.AtomicAddRetries(out, j, v)
+					retries += r
+					if r > 0 {
+						p.hot.RecordW(hotspot.CASRetry, base+j, uint64(r))
+					}
 				}
 				p.tel.Add(telemetry.CASRetries, retries)
 			}
@@ -189,7 +199,11 @@ func (p *adaptivePrivate[T]) FlushBin(base, end int, idx []int32, vals []T) {
 			} else {
 				retries := 0
 				for m := j; m < k; m++ {
-					retries += num.AtomicAddRetries(out, int(idx[m]), vals[m])
+					r := num.AtomicAddRetries(out, int(idx[m]), vals[m])
+					retries += r
+					if r > 0 {
+						p.hot.RecordW(hotspot.CASRetry, int(idx[m]), uint64(r))
+					}
 				}
 				p.tel.Add(telemetry.CASRetries, retries)
 			}
@@ -227,6 +241,7 @@ func (a *Adaptive[T]) Private(tid int) Private[T] {
 	p := &a.privs[tid]
 	p.parent = a
 	p.tel = a.tel.Shard(tid)
+	p.hot = p.tel.Hot()
 	if p.touch == nil {
 		p.touch = make([]uint32, a.nblocks)
 		p.view = make([][]T, a.nblocks)

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"spray/internal/hotspot"
 	"spray/internal/num"
 	"spray/internal/par"
 	"spray/internal/telemetry"
@@ -46,6 +47,7 @@ func NewAtomic[T num.Float](out []T, threads int) *Atomic[T] {
 type atomicPrivate[T num.Float] struct {
 	out []T
 	tel *telemetry.Shard
+	hot *hotspot.Shard
 }
 
 func (p *atomicPrivate[T]) Add(i int, v T) {
@@ -54,11 +56,16 @@ func (p *atomicPrivate[T]) Add(i int, v T) {
 		return
 	}
 	p.tel.Inc(telemetry.Updates)
+	var retries int
 	if p.tel.Sample(telemetry.CASLatency) {
-		p.tel.Add(telemetry.CASRetries, casTimed(p.tel, p.out, i, v))
-		return
+		retries = casTimed(p.tel, p.out, i, v)
+	} else {
+		retries = num.AtomicAddRetries(p.out, i, v)
 	}
-	p.tel.Add(telemetry.CASRetries, num.AtomicAddRetries(p.out, i, v))
+	p.tel.Add(telemetry.CASRetries, retries)
+	if retries > 0 {
+		p.hot.RecordW(hotspot.CASRetry, i, uint64(retries))
+	}
 }
 
 // AddN keeps per-element CAS (two threads may still race on the same
@@ -77,9 +84,16 @@ func (p *atomicPrivate[T]) AddN(base int, vals []T) {
 	if len(vals) > 0 && p.tel.Sample(telemetry.CASLatency) {
 		retries += casTimed(p.tel, dst, 0, vals[0])
 		j0 = 1
+		if retries > 0 {
+			p.hot.RecordW(hotspot.CASRetry, base, uint64(retries))
+		}
 	}
 	for j := j0; j < len(vals); j++ {
-		retries += num.AtomicAddRetries(dst, j, vals[j])
+		r := num.AtomicAddRetries(dst, j, vals[j])
+		retries += r
+		if r > 0 {
+			p.hot.RecordW(hotspot.CASRetry, base+j, uint64(r))
+		}
 	}
 	p.tel.Add(telemetry.CASRetries, retries)
 }
@@ -98,9 +112,16 @@ func (p *atomicPrivate[T]) Scatter(idx []int32, vals []T) {
 	if len(idx) > 0 && p.tel.Sample(telemetry.CASLatency) {
 		retries += casTimed(p.tel, out, int(idx[0]), vals[0])
 		j0 = 1
+		if retries > 0 {
+			p.hot.RecordW(hotspot.CASRetry, int(idx[0]), uint64(retries))
+		}
 	}
 	for j := j0; j < len(idx); j++ {
-		retries += num.AtomicAddRetries(out, int(idx[j]), vals[j])
+		r := num.AtomicAddRetries(out, int(idx[j]), vals[j])
+		retries += r
+		if r > 0 {
+			p.hot.RecordW(hotspot.CASRetry, int(idx[j]), uint64(r))
+		}
 	}
 	p.tel.Add(telemetry.CASRetries, retries)
 }
@@ -121,9 +142,16 @@ func (p *atomicPrivate[T]) FlushBin(base, end int, idx []int32, vals []T) {
 	if len(idx) > 0 && p.tel.Sample(telemetry.CASLatency) {
 		retries += casTimed(p.tel, out, int(idx[0]), vals[0])
 		j0 = 1
+		if retries > 0 {
+			p.hot.RecordW(hotspot.CASRetry, int(idx[0]), uint64(retries))
+		}
 	}
 	for j := j0; j < len(idx); j++ {
-		retries += num.AtomicAddRetries(out, int(idx[j]), vals[j])
+		r := num.AtomicAddRetries(out, int(idx[j]), vals[j])
+		retries += r
+		if r > 0 {
+			p.hot.RecordW(hotspot.CASRetry, int(idx[j]), uint64(r))
+		}
 	}
 	p.tel.Add(telemetry.CASRetries, retries)
 }
@@ -132,7 +160,8 @@ func (p *atomicPrivate[T]) Done() {}
 
 // Private returns an accessor that updates the shared array directly.
 func (a *Atomic[T]) Private(tid int) Private[T] {
-	a.privs[tid] = atomicPrivate[T]{out: a.out, tel: a.tel.Shard(tid)}
+	sh := a.tel.Shard(tid)
+	a.privs[tid] = atomicPrivate[T]{out: a.out, tel: sh, hot: sh.Hot()}
 	return &a.privs[tid]
 }
 

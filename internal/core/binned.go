@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"spray/internal/hotspot"
 	"spray/internal/memtrack"
 	"spray/internal/num"
 	"spray/internal/par"
@@ -72,6 +73,11 @@ type binnedPrivate[T num.Float] struct {
 	sink  BinFlusher[T] // nil: flush through inner.Scatter
 	eng   *scatter.Binner[T]
 	tel   *telemetry.Shard
+	hot   *hotspot.Shard
+	// hotHook is the engine's coalesce observer, allocated once on the
+	// first profiled region and reused (it reads p.hot per call), so
+	// steady-state regions stay allocation-free.
+	hotHook func(int32)
 }
 
 // Add bypasses the engine: a single element gains nothing from staging.
@@ -131,10 +137,19 @@ func (b *Binned[T]) Private(tid int) Private[T] {
 	p.inner = ip
 	p.sink, _ = ip.(BinFlusher[T])
 	p.tel = b.tel.Shard(tid)
+	p.hot = p.tel.Hot()
 	if p.eng == nil {
 		cfg := b.cfg
 		cfg.OnAlloc = func(n int64) { b.mem.Alloc(n) }
 		p.eng = scatter.New(p.flushBin, b.n, cfg)
+	}
+	if p.hot != nil && p.hotHook == nil {
+		p.hotHook = func(i int32) { p.hot.Record(hotspot.BinCollision, int(i)) }
+	}
+	if p.hot != nil {
+		p.eng.SetOnCoalesce(p.hotHook)
+	} else {
+		p.eng.SetOnCoalesce(nil)
 	}
 	return p
 }

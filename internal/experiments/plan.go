@@ -33,6 +33,14 @@ type PlanConfig struct {
 	// outside the timing so counter overhead never contaminates the curve.
 	Telemetry bool
 	OnReport  func(label string, rep spray.RegionReport)
+
+	// HotProfile, when set, attaches the index-space contention profiler
+	// to the untimed instrumented solve (implying one even when Telemetry
+	// is off) and delivers its sampled profile per (strategy, iterations)
+	// point, labeled "<strategy> iters=<K>". Hotspot tunes the sampling;
+	// the zero value uses the profiler defaults.
+	HotProfile func(label string, p *spray.HotspotProfile)
+	Hotspot    spray.HotspotOptions
 }
 
 // DefaultPlanConfig pits the plan wrapper against the strategies it
@@ -101,14 +109,20 @@ func PlanTMV(cfg PlanConfig) *bench.Result {
 				}
 			})
 			p := bench.Point{X: float64(iters), Time: perApply(summary, iters), Bytes: r.PeakBytes()}
-			if cfg.Telemetry {
+			if cfg.Telemetry || cfg.HotProfile != nil {
 				ri := spray.New(st, y, th)
 				in := spray.Instrument(team, ri)
+				if cfg.HotProfile != nil {
+					in.EnableHotspot(a.Cols, cfg.Hotspot)
+				}
 				sparse.RunTMulVecIters(team, ri, a, x, iters)
 				rep := in.Report()
 				p.Counters = rep.CounterMap()
 				if cfg.OnReport != nil {
 					cfg.OnReport(fmt.Sprintf("%s iters=%d", st, iters), rep)
+				}
+				if cfg.HotProfile != nil {
+					cfg.HotProfile(fmt.Sprintf("%s iters=%d", st, iters), in.HotspotProfile())
 				}
 				in.Detach()
 			}

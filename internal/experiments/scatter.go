@@ -44,8 +44,11 @@ func scatterPair(cfg BulkConfig, res *bench.Result, st spray.Strategy, th int, o
 		}
 		r := spray.New(v.st, out, th)
 		var in *spray.Instrumentation
-		if cfg.Telemetry {
+		if cfg.Telemetry || cfg.HotProfile != nil {
 			in = spray.Instrument(team, r)
+			if cfg.HotProfile != nil {
+				in.EnableHotspot(len(out), cfg.Hotspot)
+			}
 		}
 		p := bulkPoint(cfg, in, th, st.String()+v.suffix, func(iters int) {
 			for i := 0; i < iters; i++ {
@@ -55,6 +58,9 @@ func scatterPair(cfg BulkConfig, res *bench.Result, st spray.Strategy, th int, o
 		p.Bytes = r.PeakBytes()
 		res.AddPoint(st.String()+v.suffix, p)
 		if in != nil {
+			if cfg.HotProfile != nil {
+				cfg.HotProfile(fmt.Sprintf("%s%s t=%d", st, v.suffix, th), in.HotspotProfile())
+			}
 			in.Detach()
 		}
 		team.Close()

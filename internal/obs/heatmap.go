@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"spray/internal/hotspot"
+)
+
+// Index-space contention exposition: the spray_hotline_* series and the
+// /debug/spray/heatmap endpoint, fed by the Sample.Hot profiles of
+// providers whose reducer has the hotspot profiler enabled.
+//
+// Series (all absent-valued strategies are simply omitted; the TYPE
+// headers always render so scrapes validate):
+//
+//	spray_hotline_events_total{strategy,class}   counter, exact per-class
+//	                                             conflict event weights
+//	spray_hotline_sampled_total{strategy,class}  counter, decimated weight
+//	                                             that reached the sketch
+//	spray_hotline_top_line{strategy,rank}        gauge, cache-line number
+//	                                             of hot line #rank
+//	spray_hotline_top_count{strategy,rank}       gauge, its sampled weight
+//	spray_hotline_heat{strategy}                 histogram over the output
+//	                                             index space: le = element
+//	                                             index upper bound, value =
+//	                                             cumulative sampled weight
+//
+// The top-line gauges are capped at promTopRanks ranks per strategy so
+// scrape cardinality stays bounded no matter how large the profiler's
+// candidate tables are.
+const promTopRanks = 8
+
+// writeHotlines renders the spray_hotline_* families for the (already
+// strategy-merged) samples.
+func writeHotlines(w io.Writer, samples []Sample) {
+	fmt.Fprintln(w, "# HELP spray_hotline_events_total Conflict events attributed by the contention profiler, by class.")
+	fmt.Fprintln(w, "# TYPE spray_hotline_events_total counter")
+	for _, s := range samples {
+		if s.Hot == nil {
+			continue
+		}
+		st := promLabel(s.Strategy)
+		for c := hotspot.Class(0); c < hotspot.NumClasses; c++ {
+			fmt.Fprintf(w, "spray_hotline_events_total{strategy=\"%s\",class=\"%s\"} %d\n",
+				st, promName(c.String()), s.Hot.Totals[c.String()])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP spray_hotline_sampled_total Decimated conflict weight recorded into the sketches, by class.")
+	fmt.Fprintln(w, "# TYPE spray_hotline_sampled_total counter")
+	for _, s := range samples {
+		if s.Hot == nil {
+			continue
+		}
+		st := promLabel(s.Strategy)
+		for c := hotspot.Class(0); c < hotspot.NumClasses; c++ {
+			fmt.Fprintf(w, "spray_hotline_sampled_total{strategy=\"%s\",class=\"%s\"} %d\n",
+				st, promName(c.String()), s.Hot.Sampled[c.String()])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP spray_hotline_top_line Cache-line number of the rank-th hottest conflict line.")
+	fmt.Fprintln(w, "# TYPE spray_hotline_top_line gauge")
+	for _, s := range samples {
+		if s.Hot == nil {
+			continue
+		}
+		st := promLabel(s.Strategy)
+		for r, l := range s.Hot.TopLines(promTopRanks) {
+			fmt.Fprintf(w, "spray_hotline_top_line{strategy=\"%s\",rank=\"%d\"} %d\n", st, r, l.Line)
+		}
+	}
+	fmt.Fprintln(w, "# HELP spray_hotline_top_count Sampled conflict weight of the rank-th hottest line.")
+	fmt.Fprintln(w, "# TYPE spray_hotline_top_count gauge")
+	for _, s := range samples {
+		if s.Hot == nil {
+			continue
+		}
+		st := promLabel(s.Strategy)
+		for r, l := range s.Hot.TopLines(promTopRanks) {
+			fmt.Fprintf(w, "spray_hotline_top_count{strategy=\"%s\",rank=\"%d\"} %d\n", st, r, l.Count)
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP spray_hotline_heat Sampled conflict weight over the output index space (le = element index upper bound).")
+	fmt.Fprintln(w, "# TYPE spray_hotline_heat histogram")
+	for _, s := range samples {
+		p := s.Hot
+		if p == nil || p.HeatBuckets == 0 || len(p.Buckets) == 0 {
+			continue
+		}
+		st := promLabel(s.Strategy)
+		var cum, count, sum uint64
+		for _, b := range p.Buckets {
+			count += b
+		}
+		lastLe := -1
+		for b, wgt := range p.Buckets {
+			cum += wgt
+			// Upper line bound of bucket b, converted to element units.
+			// Narrow index spaces make consecutive buckets share an upper
+			// bound; merging them keeps the le values strictly increasing
+			// (the format forbids duplicate series).
+			upLine := ((b + 1) * p.NumLines) / p.HeatBuckets
+			le := upLine * p.LineElems
+			sum += wgt * uint64(le)
+			if le <= lastLe {
+				continue
+			}
+			if b == len(p.Buckets)-1 && cum != count {
+				// Defensive: never let the last finite bucket disagree
+				// with the +Inf count.
+				cum = count
+			}
+			fmt.Fprintf(w, "spray_hotline_heat_bucket{strategy=\"%s\",le=\"%d\"} %d\n", st, le, cum)
+			lastLe = le
+		}
+		fmt.Fprintf(w, "spray_hotline_heat_bucket{strategy=\"%s\",le=\"+Inf\"} %d\n", st, count)
+		fmt.Fprintf(w, "spray_hotline_heat_sum{strategy=\"%s\"} %d\n", st, sum)
+		fmt.Fprintf(w, "spray_hotline_heat_count{strategy=\"%s\"} %d\n", st, count)
+	}
+}
+
+// heatmapDump is the /debug/spray/heatmap JSON shape.
+type heatmapDump struct {
+	GeneratedAt time.Time          `json:"generated_at"`
+	Profiles    []*hotspot.Profile `json:"profiles"`
+}
+
+// HeatmapHandler serves the current contention profiles of every
+// provider as JSON. Answers 404 while no instrumented reducer has the
+// profiler enabled, mirroring the flight/events endpoints' off state.
+func HeatmapHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		samples := mergeByStrategy(Samples())
+		profs := make([]*hotspot.Profile, 0, len(samples))
+		for _, s := range samples {
+			if s.Hot != nil {
+				profs = append(profs, s.Hot)
+			}
+		}
+		if len(profs) == 0 {
+			http.Error(w, "hotspot profiler not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(heatmapDump{GeneratedAt: time.Now(), Profiles: profs})
+	})
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"spray/internal/hotspot"
+)
+
+// hotProfile records a known pattern into an exact-sampling profiler and
+// returns its snapshot.
+func hotProfile(strategy string, n int) *hotspot.Profile {
+	p := hotspot.New(strategy, n, 2, hotspot.Options{SamplePeriod: 1})
+	s0, s1 := p.Shard(0), p.Shard(1)
+	for i := 0; i < 10; i++ {
+		s0.Record(hotspot.KeeperForeign, 40)
+	}
+	s0.RecordW(hotspot.CASRetry, 47, 3)
+	s1.Record(hotspot.CASRetry, n-1)
+	prof := p.Snapshot()
+	prof.Updates = 10000
+	return prof
+}
+
+func TestHotlineExpositionValidates(t *testing.T) {
+	s := testSample("keeper", 4, 0)
+	s.Hot = hotProfile("keeper", 4096)
+	plain := testSample("atomic", 2, 7) // no profiler: families must skip it
+	var b strings.Builder
+	WritePrometheus(&b, []Sample{s, plain}, nil)
+	scrape, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("hotline exposition failed validation: %v\n%s", err, b.String())
+	}
+	for name, typ := range map[string]string{
+		"spray_hotline_events_total":  "counter",
+		"spray_hotline_sampled_total": "counter",
+		"spray_hotline_top_line":      "gauge",
+		"spray_hotline_top_count":     "gauge",
+		"spray_hotline_heat":          "histogram",
+	} {
+		if scrape.Types[name] != typ {
+			t.Errorf("%s TYPE = %q, want %q", name, scrape.Types[name], typ)
+		}
+	}
+	if v, ok := scrape.Value("spray_hotline_events_total", "strategy=keeper", "class=keeper_foreign"); !ok || v != 10 {
+		t.Errorf("keeper_foreign events = %v, %v (want 10)", v, ok)
+	}
+	if v, ok := scrape.Value("spray_hotline_events_total", "strategy=keeper", "class=cas_retry"); !ok || v != 4 {
+		t.Errorf("cas_retry events = %v, %v (want 4)", v, ok)
+	}
+	if v, ok := scrape.Value("spray_hotline_sampled_total", "strategy=keeper", "class=keeper_foreign"); !ok || v != 10 {
+		t.Errorf("keeper_foreign sampled = %v, %v (want 10)", v, ok)
+	}
+	// Hottest line is 5 (indices 40..47, weight 13).
+	if v, ok := scrape.Value("spray_hotline_top_line", "strategy=keeper", "rank=0"); !ok || v != 5 {
+		t.Errorf("top line rank 0 = %v, %v (want 5)", v, ok)
+	}
+	if v, ok := scrape.Value("spray_hotline_top_count", "strategy=keeper", "rank=0"); !ok || v != 13 {
+		t.Errorf("top count rank 0 = %v, %v (want 13)", v, ok)
+	}
+	// The heat histogram's +Inf bucket must equal its count (total
+	// sampled weight: 13 at line 5 plus 1 at the last line).
+	var inf float64
+	for _, series := range scrape.Series("spray_hotline_heat_bucket") {
+		if series.Labels["strategy"] == "keeper" && series.Labels["le"] == "+Inf" {
+			inf = series.Value
+		}
+	}
+	if inf != 14 {
+		t.Errorf("heat +Inf = %v, want 14", inf)
+	}
+	if v, ok := scrape.Value("spray_hotline_heat_count", "strategy=keeper"); !ok || v != 14 {
+		t.Errorf("heat count = %v, %v (want 14)", v, ok)
+	}
+	// The unprofiled strategy must not appear in the hotline families.
+	for _, series := range scrape.Series("spray_hotline_events_total") {
+		if series.Labels["strategy"] == "atomic" {
+			t.Error("unprofiled strategy leaked into spray_hotline_events_total")
+		}
+	}
+}
+
+func TestHotlineLabelEscaping(t *testing.T) {
+	nasty := "hot\"str\\at\negy"
+	s := testSample(nasty, 1, 0)
+	s.Hot = hotProfile(nasty, 4096)
+	var b strings.Builder
+	WritePrometheus(&b, []Sample{s}, nil)
+	scrape, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("escaped hotline exposition invalid: %v\n%s", err, b.String())
+	}
+	if v, ok := scrape.Value("spray_hotline_events_total", "strategy="+nasty, "class=keeper_foreign"); !ok || v != 10 {
+		t.Errorf("nasty strategy did not round-trip: %v, %v", v, ok)
+	}
+}
+
+func TestHotlineHeatNarrowIndexSpace(t *testing.T) {
+	// 40 elements = 5 lines against 64 heat buckets: most buckets share
+	// an upper bound, which must be merged into strictly-increasing le
+	// values or ParseProm rejects the exposition.
+	p := hotspot.New("tiny", 40, 1, hotspot.Options{SamplePeriod: 1})
+	sh := p.Shard(0)
+	for i := 0; i < 40; i++ {
+		sh.Record(hotspot.CASRetry, i)
+	}
+	s := testSample("tiny", 1, 0)
+	s.Hot = p.Snapshot()
+	var b strings.Builder
+	WritePrometheus(&b, []Sample{s}, nil)
+	scrape, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("narrow heat histogram invalid: %v\n%s", err, b.String())
+	}
+	if v, ok := scrape.Value("spray_hotline_heat_count", "strategy=tiny"); !ok || v != 40 {
+		t.Errorf("heat count = %v, %v (want 40)", v, ok)
+	}
+	seen := map[string]bool{}
+	for _, series := range scrape.Series("spray_hotline_heat_bucket") {
+		le := series.Labels["le"]
+		if seen[le] {
+			t.Errorf("duplicate le %q survived merging", le)
+		}
+		seen[le] = true
+	}
+}
+
+func TestHotlineMergesDuplicateStrategies(t *testing.T) {
+	a := testSample("keeper", 1, 0)
+	a.Hot = hotProfile("keeper", 4096)
+	b := testSample("keeper", 1, 0)
+	b.Hot = hotProfile("keeper", 4096)
+	var sb strings.Builder
+	WritePrometheus(&sb, []Sample{a, b}, nil)
+	scrape, err := ParseProm(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("merged hotline exposition invalid: %v\n%s", err, sb.String())
+	}
+	if v, ok := scrape.Value("spray_hotline_events_total", "strategy=keeper", "class=keeper_foreign"); !ok || v != 20 {
+		t.Errorf("merged keeper_foreign events = %v, %v (want 20)", v, ok)
+	}
+}
+
+func TestHeatmapHandlerRoundTrip(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	// No profiled provider: 404, like flight/events before Enable.
+	resp, err := http.Get(srv.URL + "/debug/spray/heatmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("empty registry status = %d, want 404", resp.StatusCode)
+	}
+
+	prof := hotProfile("keeper", 4096)
+	id := RegisterProvider(func() Sample {
+		s := testSample("keeper", 1, 0)
+		s.Hot = prof
+		return s
+	})
+	defer UnregisterProvider(id)
+
+	resp, err = http.Get(srv.URL + "/debug/spray/heatmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var dump heatmapDump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(dump.Profiles) != 1 {
+		t.Fatalf("profiles = %d, want 1", len(dump.Profiles))
+	}
+	got := dump.Profiles[0]
+	if got.Strategy != "keeper" || got.TotalConflicts() != prof.TotalConflicts() {
+		t.Fatalf("round trip: strategy=%q conflicts=%d, want keeper/%d",
+			got.Strategy, got.TotalConflicts(), prof.TotalConflicts())
+	}
+	if got.Lines[0].Line != prof.Lines[0].Line || got.Lines[0].Count != prof.Lines[0].Count {
+		t.Fatalf("top line round trip: %+v vs %+v", got.Lines[0], prof.Lines[0])
+	}
+	if dump.GeneratedAt.IsZero() {
+		t.Fatal("generated_at not stamped")
+	}
+}
+
+func TestHeatmapSparkline(t *testing.T) {
+	if got := sparkline([]uint64{0, 1, 4, 8}); got != "·▁▄█" {
+		t.Fatalf("sparkline = %q", got)
+	}
+	if got := sparkline([]uint64{0, 0}); got != "··" {
+		t.Fatalf("all-zero sparkline = %q", got)
+	}
+}
+
+func TestHeatmapMonitorPanel(t *testing.T) {
+	prof := hotProfile("keeper", 4096)
+	id := RegisterProvider(func() Sample {
+		s := testSample("keeper", 1, 0)
+		s.Hot = prof
+		return s
+	})
+	defer UnregisterProvider(id)
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	m := &Monitor{BaseURL: srv.URL}
+	var out strings.Builder
+	if err := m.Tick(&out); err != nil {
+		t.Fatalf("tick: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "heatmap keeper") {
+		t.Fatalf("monitor output missing heatmap panel:\n%s", text)
+	}
+	if !strings.Contains(text, "dominant=keeper-foreign") {
+		t.Fatalf("monitor output missing dominant class:\n%s", text)
+	}
+	if !strings.Contains(text, "line 5") {
+		t.Fatalf("monitor output missing top line:\n%s", text)
+	}
+}

@@ -97,6 +97,7 @@ func (m *Monitor) Tick(w io.Writer) error {
 	m.mu.Unlock()
 
 	m.render(w, scrape, cur, prev)
+	m.renderHeatmap(w)
 	m.renderEvents(w)
 	return nil
 }

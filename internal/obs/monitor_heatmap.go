@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// The spraymon heatmap panel: one spark-bar line per profiled strategy
+// showing where in the output array the conflicts land, plus the
+// hottest cache lines by sampled weight.
+
+// heatGlyphs are the eight spark levels; empty buckets render as '·' so
+// cold regions stay visually distinct from low-but-nonzero heat.
+var heatGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders buckets as one character each, scaled to the
+// hottest bucket.
+func sparkline(buckets []uint64) string {
+	var max uint64
+	for _, b := range buckets {
+		if b > max {
+			max = b
+		}
+	}
+	var sb strings.Builder
+	for _, b := range buckets {
+		switch {
+		case b == 0:
+			sb.WriteRune('·')
+		default:
+			lvl := int(b * uint64(len(heatGlyphs)-1) / max)
+			sb.WriteRune(heatGlyphs[lvl])
+		}
+	}
+	return sb.String()
+}
+
+// renderHeatmap fetches /debug/spray/heatmap and renders the contention
+// panel. A 404 (no profiled reducer server-side) is silent, like the
+// events tail.
+func (m *Monitor) renderHeatmap(w io.Writer) {
+	resp, err := m.get("/debug/spray/heatmap")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	var dump heatmapDump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		return
+	}
+	for _, p := range dump.Profiles {
+		if p == nil {
+			continue
+		}
+		total := p.TotalConflicts()
+		cls, clsW := p.DominantClass()
+		fmt.Fprintf(w, "  heatmap %-18s conflicts=%d", p.Strategy, total)
+		if cls != "" && total > 0 {
+			fmt.Fprintf(w, "  dominant=%s (%d%%)", cls, 100*clsW/total)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "    [0..%d) %s\n", p.N, sparkline(p.Buckets))
+		for i, l := range p.TopLines(4) {
+			fmt.Fprintf(w, "    #%d line %d (elems %d..%d) weight %d\n",
+				i+1, l.Line, l.Index, l.Index+p.LineElems-1, l.Count)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"spray/internal/hotspot"
 	"spray/internal/telemetry"
 )
 
@@ -49,6 +50,11 @@ type Sample struct {
 	// paths; scrape paths read Counters directly).
 	CounterMap map[string]uint64                           `json:"counters,omitempty"`
 	Hists      [telemetry.NumHKinds]telemetry.HistSnapshot `json:"-"`
+	// Hot is the index-space contention profile when the provider's
+	// reducer has the hotspot profiler enabled (nil otherwise). It rides
+	// into flight-recorder snapshots and the /debug/spray/heatmap
+	// endpoint as-is.
+	Hot *hotspot.Profile `json:"hot,omitempty"`
 }
 
 // LoadImbalance returns max over mean per-member busy time (0 when no

@@ -98,6 +98,15 @@ func mergeByStrategy(samples []Sample) []Sample {
 		if s.Threads > m.Threads {
 			m.Threads = s.Threads
 		}
+		if s.Hot != nil {
+			if m.Hot == nil {
+				m.Hot = s.Hot
+			} else if err := m.Hot.Merge(s.Hot); err != nil {
+				// Same strategy over different arrays: keep the first
+				// profile rather than emit a nonsensical blend.
+				continue
+			}
+		}
 	}
 	return out
 }
@@ -141,6 +150,8 @@ func WritePrometheus(w io.Writer, samples []Sample, d *Diagnostics) {
 			fmt.Fprintf(w, "spray_latency_seconds_count{strategy=\"%s\",kind=\"%s\"} %d\n", st, kind, h.Count)
 		}
 	}
+
+	writeHotlines(w, samples)
 
 	counterGauge := func(name, help, typ string, get func(Sample) string) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
@@ -196,12 +207,15 @@ func PrometheusHandler() http.Handler {
 
 // Handler returns the full diagnostics mux:
 //
-//	/metrics             Prometheus text exposition
-//	/debug/vars          expvar JSON (the legacy endpoint)
-//	/debug/spray/flight  flight recorder JSON dump
-//	/debug/spray/events  structured event feed JSON
+//	/metrics              Prometheus text exposition
+//	/debug/vars           expvar JSON (the legacy endpoint)
+//	/debug/spray/flight   flight recorder JSON dump
+//	/debug/spray/events   structured event feed JSON
+//	/debug/spray/heatmap  contention profiles JSON
 //
-// The flight and events endpoints answer 404 until Enable has run.
+// The flight and events endpoints answer 404 until Enable has run; the
+// heatmap endpoint answers 404 until some provider has the hotspot
+// profiler enabled.
 func Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", PrometheusHandler())
@@ -214,6 +228,7 @@ func Handler() http.Handler {
 		}
 		d.Flight.Handler().ServeHTTP(w, r)
 	})
+	mux.Handle("/debug/spray/heatmap", HeatmapHandler())
 	mux.HandleFunc("/debug/spray/events", func(w http.ResponseWriter, r *http.Request) {
 		d := Enabled()
 		if d == nil {

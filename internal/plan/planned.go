@@ -9,6 +9,7 @@ import (
 	"unsafe"
 
 	"spray/internal/core"
+	"spray/internal/hotspot"
 	"spray/internal/memtrack"
 	"spray/internal/num"
 	"spray/internal/par"
@@ -459,6 +460,7 @@ func (r *Planned[T]) finalizeExec(t *par.Team) {
 // are skipped — their contributions go through the serial replay instead.
 func (r *Planned[T]) mergeOwner(o int, skipFailed bool) {
 	prog := r.prog
+	hot := r.tel.Shard(o).Hot()
 	for t := 0; t < r.threads; t++ {
 		if skipFailed && (!r.active[t] || r.execPrivs[t].failed) {
 			continue
@@ -466,6 +468,13 @@ func (r *Planned[T]) mergeOwner(o int, skipFailed bool) {
 		idx := prog.exIdx[o][t]
 		if len(idx) == 0 {
 			continue
+		}
+		if t != o {
+			// Every exchange entry is an index the plan routed across
+			// threads — the compiled analogue of a keeper foreign
+			// submission. mergeOwner runs on owner o's goroutine, so o's
+			// shard is the single writer here.
+			hot.RecordBatch(hotspot.PlanExchange, idx)
 		}
 		pos := prog.exPos[o][t]
 		ex := r.execPrivs[t].ex

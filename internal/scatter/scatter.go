@@ -120,9 +120,10 @@ type Binner[T num.Float] struct {
 	poolIdx  [][]int32
 	poolVal  [][]T
 
-	coalesced uint64
-	footprint int64
-	onAlloc   func(int64)
+	coalesced  uint64
+	footprint  int64
+	onAlloc    func(int64)
+	onCoalesce func(int32) // per coalesced index, nil when unobserved
 }
 
 // New builds an engine over the index space [0, n) flushing through f.
@@ -169,6 +170,13 @@ func (b *Binner[T]) charge(bytes int64) {
 // BlockSize returns the configured destination-block width.
 func (b *Binner[T]) BlockSize() int { return b.bsize }
 
+// SetOnCoalesce installs (nil: removes) an observer invoked with the
+// index of every duplicate the engine coalesces inside a bin — the bin
+// flush collision feed of the contention profiler. The unobserved path
+// pays one predictable nil check per coalesce, in line with the
+// telemetry gate convention.
+func (b *Binner[T]) SetOnCoalesce(f func(int32)) { b.onCoalesce = f }
+
 // Add stages one contribution out[i] += v.
 //
 // Ordering contract: the engine emits, through its flush sink, exactly
@@ -188,6 +196,9 @@ func (b *Binner[T]) Add(i int32, v T) {
 	if s := bn.slot[off]; s >= 0 {
 		bn.vals[s] += v
 		b.coalesced++
+		if b.onCoalesce != nil {
+			b.onCoalesce(i)
+		}
 		return
 	}
 	bn.slot[off] = int32(len(bn.idx))
@@ -210,6 +221,9 @@ func (b *Binner[T]) Scatter(idx []int32, vals []T) {
 		if s := bn.slot[off]; s >= 0 {
 			bn.vals[s] += vals[j]
 			b.coalesced++
+			if b.onCoalesce != nil {
+				b.onCoalesce(i)
+			}
 			continue
 		}
 		bn.slot[off] = int32(len(bn.idx))
