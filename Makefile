@@ -61,25 +61,30 @@ race:
 # latency histograms, trace rings, panic wrapping, the export registry,
 # the keeper mailbox publish/drain protocol, the binned wrapper, the
 # index-space contention profiler (sketches, top-K tables, heatmap
-# exposition), and the diagnostics subsystem (Prometheus rendering,
-# flight recorder, anomaly detector, event rings, spraymon digestion).
+# exposition), the diagnostics subsystem (Prometheus rendering,
+# flight recorder, anomaly detector, event rings, spraymon digestion),
+# and the tiered hot/cold wrapper (replica caches, online promotion,
+# eviction flushes).
 race-telemetry:
-	$(GO) test -race -short -run 'Telemetry|Instrument|Timing|WorkerPanic|Concurrent|Trace|Hist|Sample|Latency|Mailbox|Drain|Binned|Prom|Flight|Anomal|Event|Monitor|Diagnostics|ServeMetrics|CASStorm|ObsOff|Hotspot|Hotline|Heatmap' ./internal/telemetry ./internal/par ./internal/core ./internal/memtrack ./internal/scatter ./internal/experiments ./internal/obs ./internal/hotspot .
+	$(GO) test -race -short -run 'Telemetry|Instrument|Timing|WorkerPanic|Concurrent|Trace|Hist|Sample|Latency|Mailbox|Drain|Binned|Prom|Flight|Anomal|Event|Monitor|Diagnostics|ServeMetrics|CASStorm|ObsOff|Hotspot|Hotline|Heatmap|Tiered|HotSet|Promot' ./internal/telemetry ./internal/par ./internal/core ./internal/memtrack ./internal/scatter ./internal/experiments ./internal/obs ./internal/hotspot .
 
-# bench-smoke proves the bulk benchmarks run end to end without timing
-# anything meaningful (100 iterations per case).
+# bench-smoke proves the bulk and tiered benchmarks run end to end
+# without timing anything meaningful (100 iterations per case).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkBulk' -benchtime 100x .
+	$(GO) test -run '^$$' -bench 'BenchmarkBulk|BenchmarkTieredZipf' -benchtime 100x .
 
 # overhead-smoke asserts the telemetry-off budget (the gated accessor must
-# stay within 2% of an ungated replica), the contention-profiler budget
+# stay within 2% of an ungated replica — including the tiered hot path
+# and the binned staging loop), the contention-profiler budget
 # (the profiler-enabled keeper accessor must stay within 2% of the
-# detached one, and the disabled paths must not allocate), and exercises
-# the off/on conv benchmarks once — the telemetry layer, the profiler
-# and the diagnostics layer (flight recorder + anomaly poller) on top.
+# detached one, and the disabled paths must not allocate), the
+# zero-steady-state-alloc contract of the off paths (tiered hot/cold
+# routing included), and exercises the off/on conv benchmarks once —
+# the telemetry layer, the profiler and the diagnostics layer (flight
+# recorder + anomaly poller) on top.
 overhead-smoke:
 	$(GO) test -run TestTelemetryOffOverhead -count 1 ./internal/core
-	$(GO) test -run 'TestHotspotOffOverhead|TestHotspotOffPathNoAlloc|TestHotspotOnPathNoAllocSteadyState' -count 1 ./internal/core
+	$(GO) test -run 'TestHotspotOffOverhead|TestHotspotOffPathNoAlloc|TestHotspotOnPathNoAllocSteadyState|TestOffPathSamplingGateNoAlloc' -count 1 ./internal/core
 	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverheadConv|BenchmarkObsOffOverheadConv|BenchmarkHotspotOverheadConv' -benchtime 20x .
 
 # hotspot-accuracy proves the sampled count-min/top-K profiler agrees
@@ -119,6 +124,13 @@ bench-observability:
 # plan amortization sweep gates with the scatter-class band: its points
 # are whole cold solves (record+compile inside the measurement) run few
 # times per sample, so run-to-run swing is far above the conv points'.
+# The tiered leg records the hot/cold replication comparison (Zipfian
+# skewed conv scatter + banded transpose product, hot+atomic vs its
+# inner strategies) as results/BENCH_tiered.json — a tracked artifact,
+# like BENCH_scatter.json — and gates it with the scatter-class band:
+# its points are short Scatter-heavy regions on an oversubscribed
+# container, so run-to-run swing matches the scatter points', not the
+# conv points'.
 bench-gate:
 	$(GO) run ./cmd/benchdiff -expect-regression -q cmd/benchdiff/testdata/base.json cmd/benchdiff/testdata/regressed.json
 	@mkdir -p results
@@ -126,6 +138,8 @@ bench-gate:
 	$(GO) run ./cmd/benchdiff -gate -sigma 4 -min-rel 0.25 results/bench_baseline.json results/BENCH_gate.json
 	$(GO) run ./cmd/spraybulk -n 60000 -max-threads 2 -repeats 2 -min-time 10ms -workload plan -plan-iters 1,4,16 -json results/BENCH_plan.json
 	$(GO) run ./cmd/benchdiff -gate -sigma 4 -min-rel 0.75 results/bench_baseline.json results/BENCH_plan.json
+	$(GO) run ./cmd/spraybulk -n 100000 -max-threads 2 -repeats 3 -min-time 20ms -workload tiered -json results/BENCH_tiered.json
+	$(GO) run ./cmd/benchdiff -gate -sigma 4 -min-rel 0.75 results/bench_baseline.json results/BENCH_tiered.json
 
 # bench-scatter records the binned-vs-unbinned write-combining
 # comparison (duplicate-heavy conv adjoint stream + banded transpose

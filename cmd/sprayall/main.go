@@ -36,7 +36,7 @@ func main() {
 		minTime    = flag.Duration("min-time", 100*time.Millisecond, "minimum time per sample")
 		metrics    = flag.Bool("metrics", false, "instrument the conv figures: print a telemetry region report per measured point (stderr) and attach counters to CSV-adjacent data")
 		tracePath  = flag.String("trace", "", "record span timelines for the conv figures and write them as Chrome trace-event JSON to this path")
-		hotPath    = flag.String("hotprofile", "", "attach the index-space contention profiler to the conv, plan and scatter sweeps and write the sampled hot-line profiles (JSON array) to this path")
+		hotPath    = flag.String("hotprofile", "", "attach the index-space contention profiler to the conv, plan, scatter and tiered sweeps and write the sampled hot-line profiles (JSON array) to this path")
 		prof       cliutil.Profiling
 		met        cliutil.Metrics
 	)
@@ -144,6 +144,17 @@ func main() {
 	scfg.HotProfile = onHot
 	emit(experiments.ScatterConv(scfg), *outdir, "scatter_conv.csv")
 	emit(experiments.ScatterTMV(scfg), *outdir, "scatter_tmv.csv")
+
+	// Tiered hot/cold replication: the Zipfian skewed scatter stream and
+	// the banded transpose product, hot+atomic vs its inner strategies.
+	tcfg := experiments.DefaultTieredConfig(convN/4, *maxThreads)
+	tcfg.Runner = runner
+	tcfg.Telemetry = *metrics
+	tcfg.OnReport = onReport
+	tcfg.Trace = sink
+	tcfg.HotProfile = onHot
+	emit(experiments.TieredConv(tcfg), *outdir, "tiered_conv.csv")
+	emit(experiments.TieredTMV(tcfg), *outdir, "tiered_tmv.csv")
 
 	if *hotPath != "" {
 		fatalIf(hotspot.WriteProfiles(*hotPath, hotProfiles))

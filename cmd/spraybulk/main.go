@@ -21,6 +21,13 @@
 //
 //	spraybulk -workload plan -json results/BENCH_plan.json
 //
+// The tiered workload drives a Zipfian-skewed scatter stream and a
+// banded transpose-matrix-vector product through the hot/cold tiered
+// wrapper (spray.Tiered) against its inner strategies, with a
+// profile-guided SeedFromProfile warmup before each measured point:
+//
+//	spraybulk -workload tiered -json results/BENCH_tiered.json
+//
 // -hotprofile attaches the index-space contention profiler to every
 // measured configuration and writes the sampled hot-line profiles as a
 // JSON array; feed the file to sprayadvise -profile for a
@@ -54,7 +61,7 @@ func main() {
 		maxThreads = flag.Int("max-threads", 8, "largest thread count in the sweep")
 		threads    = flag.String("threads", "", "explicit comma-separated thread counts (overrides -max-threads)")
 		strategies = flag.String("strategies", "", "comma-separated strategy list (default: dense,atomic,block-cas,keeper)")
-		workload   = flag.String("workload", "all", "workload to run: conv, tmv, scatter, plan or all")
+		workload   = flag.String("workload", "all", "workload to run: conv, tmv, scatter, plan, tiered or all")
 		planIters  = flag.String("plan-iters", "", "comma-separated applications-per-solve counts for the plan workload (default: 1,2,4,8,16,32)")
 		repeats    = flag.Int("repeats", 3, "samples per configuration")
 		minTime    = flag.Duration("min-time", 100*time.Millisecond, "minimum time per sample")
@@ -115,6 +122,13 @@ func main() {
 		scfg.Strategies = experiments.DefaultScatterConfig(*n, *maxThreads).Strategies
 	}
 
+	// The tiered hot/cold comparison defaults to the replication-vs-inner
+	// strategy set unless the user picked strategies explicitly.
+	tcfg := cfg
+	if *strategies == "" {
+		tcfg.Strategies = experiments.DefaultTieredConfig(*n, *maxThreads).Strategies
+	}
+
 	// The plan amortization sweep runs at the largest team size with a
 	// banded matrix sized off -n; the strategy set defaults to the
 	// plan-vs-inner comparison unless overridden.
@@ -142,12 +156,15 @@ func main() {
 		results = append(results, experiments.ScatterConv(scfg), experiments.ScatterTMV(scfg))
 	case "plan":
 		results = append(results, experiments.PlanTMV(pcfg))
+	case "tiered":
+		results = append(results, experiments.TieredConv(tcfg), experiments.TieredTMV(tcfg))
 	case "all":
 		results = append(results, experiments.BulkConv(cfg), experiments.BulkTMV(cfg),
 			experiments.ScatterConv(scfg), experiments.ScatterTMV(scfg),
-			experiments.PlanTMV(pcfg))
+			experiments.PlanTMV(pcfg),
+			experiments.TieredConv(tcfg), experiments.TieredTMV(tcfg))
 	default:
-		fatalIf(fmt.Errorf("unknown workload %q (want conv, tmv, scatter, plan or all)", *workload))
+		fatalIf(fmt.Errorf("unknown workload %q (want conv, tmv, scatter, plan, tiered or all)", *workload))
 	}
 	for _, res := range results {
 		res.WriteTable(os.Stdout)

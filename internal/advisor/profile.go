@@ -52,6 +52,10 @@ func ProfileConcentration(p *hotspot.Profile, k int) float64 {
 //     add) the write-combining wrapper
 //   - plan exchanges dominated      -> the pattern repeats; stay compiled
 //   - retries/claims, tiny rate     -> atomic (contention negligible)
+//   - conflicts but an empty sketch -> rate-based fallback: the profile
+//     has no spatial signal, so "diffuse" cannot be concluded
+//   - sharply concentrated hot set  -> tiered: replicate exactly the hot
+//     lines per thread (hot+atomic), atomics absorb the cold tail
 //   - concentrated hot lines        -> adaptive: privatize just the hot
 //     blocks
 //   - diffuse heavy contention      -> private blocks, no synchronization
@@ -99,6 +103,22 @@ func RecommendFromProfile(p *hotspot.Profile) Recommendation {
 	if p.Updates > 0 && rate <= 0.01 {
 		return Recommendation{spray.Atomic(), fmt.Sprintf(
 			"conflict events are %.2f%% of updates — contention is negligible, atomics avoid all memory overhead", 100*rate)}
+	}
+	// All-cold sketch: conflict classes fired, but no hot-line sample
+	// survived into the top-K table (heavy decimation, or a stream that
+	// never revisits a line). Concentration is unmeasured here, not zero,
+	// so the spatial rungs below cannot run — fall back to the rate.
+	if len(p.Lines) == 0 {
+		if p.Updates > 0 && rate >= 0.25 {
+			return Recommendation{spray.BlockPrivate(spray.DefaultBlockSize), fmt.Sprintf(
+				"conflicts are %.0f%% of updates but the sketch captured no hot lines — contention is heavy and unlocalized, private blocks avoid synchronization without needing a hot set", 100*rate)}
+		}
+		return Recommendation{spray.Auto(spray.DefaultBlockSize),
+			"conflicts were recorded but the sketch captured no hot lines — no spatial signal, the adaptive strategy discovers hot blocks at run time"}
+	}
+	if conc >= 0.85 {
+		return Recommendation{spray.Tiered(spray.Atomic()), fmt.Sprintf(
+			"the top 16 hot lines carry %.0f%% of the sampled conflict weight — hot-set replication caches exactly those lines per thread and the cold tail stays on atomics", 100*conc)}
 	}
 	if conc >= 0.5 {
 		return Recommendation{spray.Auto(spray.DefaultBlockSize), fmt.Sprintf(

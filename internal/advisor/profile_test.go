@@ -204,13 +204,31 @@ func TestRecommendFromProfileLadder(t *testing.T) {
 			p.Totals["plan-exchange"] = p.Updates / 4
 			return p
 		}(), spray.Planned(spray.Keeper()), "compiled"},
-		{"concentrated retries", func() *hotspot.Profile {
+		{"sharply concentrated retries", func() *hotspot.Profile {
 			p := base()
 			p.Totals["cas-retry"] = p.Updates / 4
 			p.Sampled["cas-retry"] = 1000
 			p.Lines = []hotspot.LineStat{{Line: 7, Index: 56, Count: 900}}
 			return p
+		}(), spray.Tiered(spray.Atomic()), "hot-set replication"},
+		{"moderately concentrated retries", func() *hotspot.Profile {
+			p := base()
+			p.Totals["cas-retry"] = p.Updates / 4
+			p.Sampled["cas-retry"] = 1000
+			p.Lines = []hotspot.LineStat{{Line: 7, Index: 56, Count: 600}}
+			return p
 		}(), spray.Auto(spray.DefaultBlockSize), "hot lines"},
+		{"all-cold sketch, heavy rate", func() *hotspot.Profile {
+			p := base()
+			p.Totals["cas-retry"] = p.Updates / 2 // 50%, but no hot lines
+			p.Sampled["cas-retry"] = 1000
+			return p
+		}(), spray.BlockPrivate(spray.DefaultBlockSize), "no hot lines"},
+		{"all-cold sketch, moderate rate", func() *hotspot.Profile {
+			p := base()
+			p.Totals["cas-retry"] = p.Updates / 10 // 10%, but no hot lines
+			return p
+		}(), spray.Auto(spray.DefaultBlockSize), "no spatial signal"},
 		{"diffuse retries", func() *hotspot.Profile {
 			p := base()
 			p.Totals["cas-retry"] = p.Updates / 4

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"spray/internal/num"
@@ -72,6 +73,16 @@ func TestBinnedBitwiseSingleThread(t *testing.T) {
 		}
 	}
 	for name, mk := range strategies(n) {
+		if strings.HasPrefix(name, "hot+") {
+			// Tiered relaxation: the wrapper's FlushBin and the reference's
+			// element-wise sink feed the online promotion tracker
+			// differently, so the hot/cold routing (association order) only
+			// matches under a fixed promotion schedule. Exactness of
+			// binned+hot+ is proven by TestTieredUnderBinnedWrapper; the
+			// bitwise form under a fixed schedule by
+			// TestTieredBulkSeededBitwiseMatchesElementwise.
+			continue
+		}
 		outA := make([]float64, n)
 		outB := make([]float64, n)
 

@@ -31,6 +31,25 @@ func addInto[T num.Float](dst, src []T) {
 	}
 }
 
+// addMaskedLine accumulates the touched elements of one replica-cache
+// line into its destination window: dst[j] += src[j] for every j < len(dst)
+// with bit j set in m. The tiered merge calls it once per (thread, hot
+// slot); untouched elements are skipped rather than added, so a cached
+// line never perturbs signed zeros or NaN payloads the region did not
+// actually write. src may be longer than dst (the last line of the array
+// can be partial); it must not be shorter.
+func addMaskedLine[T num.Float](dst, src []T, m uint16) {
+	if len(src) < len(dst) {
+		panic("core: addMaskedLine source shorter than destination")
+	}
+	src = src[:len(dst)]
+	for j := range dst {
+		if m&(1<<uint(j)) != 0 {
+			dst[j] += src[j]
+		}
+	}
+}
+
 // maskedScatterAdd applies a gathered batch whose destinations all lie
 // in one power-of-two-sized, power-of-two-aligned window of the target
 // array: view[int(i)&(len(view)-1)] += vals[j]. Because the window base

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spray"
+	"spray/internal/bench"
+	"spray/internal/sparse"
+)
+
+// DefaultTieredConfig selects the hot/cold comparison set: the tiered
+// reducer against the two strategies it interpolates between (atomic —
+// zero memory, CAS on every collision; keeper — static ownership with
+// mailbox queues) and the adaptive block privatizer, its closest
+// relative in spirit (auto privatizes whole hot blocks, hot+ caches
+// individual hot lines with a fixed footprint).
+func DefaultTieredConfig(n, maxThreads int) BulkConfig {
+	return BulkConfig{
+		N:       n,
+		Threads: bench.ThreadCounts(maxThreads),
+		Strategies: []spray.Strategy{
+			spray.Atomic(),
+			spray.Tiered(spray.Atomic()),
+			spray.Keeper(),
+			spray.Auto(1024),
+		},
+		Runner: bench.DefaultRunner(),
+	}
+}
+
+// zipfStream is a pre-generated skewed scatter workload: tiles of
+// Zipfian-distributed indices into [0, n), the access shape of conv
+// backprop through an embedding/attention layer — a few hundred hot rows
+// absorb most of the gradient traffic while a long tail stays cold.
+type zipfStream struct {
+	n    int
+	idx  [][]int32
+	vals [][]float32
+}
+
+func newZipfStream(n, tiles, batch int, s float64, seed int64) *zipfStream {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	st := &zipfStream{n: n, idx: make([][]int32, tiles), vals: make([][]float32, tiles)}
+	for t := range st.idx {
+		st.idx[t] = make([]int32, batch)
+		st.vals[t] = make([]float32, batch)
+		for j := range st.idx[t] {
+			st.idx[t][j] = int32(z.Uint64())
+			st.vals[t][j] = rng.Float32()
+		}
+	}
+	return st
+}
+
+// run drives one region: tiles are distributed with a chunked schedule
+// so the tiered reducer's chunk-boundary promotion hook fires, and each
+// tile lands as one Scatter batch.
+func (st *zipfStream) run(team *spray.Team, r spray.Reducer[float32]) {
+	spray.RunReduction(team, r, 0, len(st.idx), spray.StaticChunk(16),
+		func(acc spray.Accessor[float32], from, to int) {
+			b := spray.Bulk(acc)
+			for t := from; t < to; t++ {
+				b.Scatter(st.idx[t], st.vals[t])
+			}
+		})
+}
+
+// seqBaseline is the scalar reference applying the same stream.
+func (st *zipfStream) seqBaseline(r bench.Runner) float64 {
+	out := make([]float32, st.n)
+	return r.AutoBench(func(iters int) {
+		for i := 0; i < iters; i++ {
+			for t := range st.idx {
+				for j, ix := range st.idx[t] {
+					out[ix] += st.vals[t][j]
+				}
+			}
+		}
+	}).Mean
+}
+
+// warmSeedFromProfile performs the profile-guided half of the tiered
+// promotion policy: one untimed region with the contention profiler
+// attached, then the profile's top lines seeded into the reducer's
+// tiered layer. A no-op (beyond the warmup run) for strategies without
+// one — every strategy gets the same warmup so the comparison stays
+// fair, and the online promotion path still adapts on top.
+func warmSeedFromProfile(team *spray.Team, r spray.Reducer[float32], n int, run func()) {
+	in := spray.Instrument(team, r)
+	in.EnableHotspot(n, spray.HotspotOptions{SamplePeriod: 4})
+	run()
+	spray.SeedFromProfile(r, in.HotspotProfile(), 128)
+	in.Detach()
+}
+
+// TieredConv measures the hot/cold split on the skewed conv gradient
+// stream: Zipfian scatter tiles where a small hot set carries most of
+// the traffic. The tiered reducer should absorb the hot set into its
+// replica caches (plain adds) and pay the inner strategy only for the
+// cold tail; atomic pays CAS for every hot-line collision and keeper
+// routes the hot traffic through its owner's mailbox.
+func TieredConv(cfg BulkConfig) *bench.Result {
+	const tiles, batch, zipfS = 512, 1024, 1.6
+	stream := newZipfStream(cfg.N, tiles, batch, zipfS, 7)
+	res := &bench.Result{
+		Title:    fmt.Sprintf("Tiered hot/cold: Zipfian conv gradient scatter (N=%d, s=%.1f, %d tiles x %d)", cfg.N, zipfS, tiles, batch),
+		XLabel:   "threads",
+		Baseline: stream.seqBaseline(cfg.Runner),
+		Notes: []string{
+			"Zipfian (s=1.6) scatter tiles: a few hundred hot lines carry most updates, long cold tail",
+			"hot+<inner>: per-thread replica caches absorb the hot set, inner strategy takes the cold tail",
+			"each point runs one profile-guided warmup region (SeedFromProfile) before timing; online promotion stays on",
+			"StaticChunk(16) schedule: tiered rebalances at chunk boundaries",
+		},
+	}
+	out := make([]float32, cfg.N)
+	for _, st := range cfg.Strategies {
+		for _, th := range cfg.Threads {
+			team := spray.NewTeam(th)
+			if cfg.Trace != nil {
+				team.SetTracer(cfg.Trace.New(fmt.Sprintf("tiered-conv/%s t=%d", st, th), th))
+			}
+			r := spray.New(st, out, th)
+			warmSeedFromProfile(team, r, cfg.N, func() { stream.run(team, r) })
+			var in *spray.Instrumentation
+			if cfg.Telemetry || cfg.HotProfile != nil {
+				in = spray.Instrument(team, r)
+				if cfg.HotProfile != nil {
+					in.EnableHotspot(cfg.N, cfg.Hotspot)
+				}
+			}
+			p := bulkPoint(cfg, in, th, st.String(), func(iters int) {
+				for i := 0; i < iters; i++ {
+					stream.run(team, r)
+				}
+			})
+			p.Bytes = r.PeakBytes()
+			res.AddPoint(st.String(), p)
+			if in != nil {
+				if cfg.HotProfile != nil {
+					cfg.HotProfile(fmt.Sprintf("tiered-conv/%s t=%d", st, th), in.HotspotProfile())
+				}
+				in.Detach()
+			}
+			team.Close()
+		}
+	}
+	return res
+}
+
+// TieredTMV runs the comparison on the banded transpose-matrix-vector
+// product: row i scatters into the column band around i, so the hot set
+// is each thread's sliding working window plus the chunk-boundary
+// overlap — a moving target that exercises the online
+// promotion/eviction path rather than a fixed seeded set.
+func TieredTMV(cfg BulkConfig) *bench.Result {
+	a := sparse.Banded[float32](cfg.N, cfg.N, 16, 96, 7)
+	res := &bench.Result{
+		Title:    fmt.Sprintf("Tiered hot/cold: banded transpose-matrix-vector (%dx%d, %d nnz)", a.Rows, a.Cols, a.NNZ()),
+		XLabel:   "threads",
+		Baseline: TMVSequentialBaseline(TMVConfig{Matrix: a, Runner: cfg.Runner}),
+		Notes: []string{
+			"band half-width 96: each thread's hot set is its sliding output window; eviction flushes retire lines as the window moves",
+			"StaticChunk(256) schedule: tiered rebalances (and keeper drains) at chunk boundaries",
+		},
+	}
+	x := vecOnes(a.Rows)
+	y := make([]float32, a.Cols)
+	sched := spray.StaticChunk(256)
+	for _, st := range cfg.Strategies {
+		for _, th := range cfg.Threads {
+			team := spray.NewTeam(th)
+			if cfg.Trace != nil {
+				team.SetTracer(cfg.Trace.New(fmt.Sprintf("tiered-tmv/%s t=%d", st, th), th))
+			}
+			r := spray.New(st, y, th)
+			warmSeedFromProfile(team, r, a.Cols, func() { sparse.RunTMulVecSched(team, r, a, x, sched) })
+			var in *spray.Instrumentation
+			if cfg.Telemetry || cfg.HotProfile != nil {
+				in = spray.Instrument(team, r)
+				if cfg.HotProfile != nil {
+					in.EnableHotspot(a.Cols, cfg.Hotspot)
+				}
+			}
+			p := bulkPoint(cfg, in, th, st.String(), func(iters int) {
+				for i := 0; i < iters; i++ {
+					sparse.RunTMulVecSched(team, r, a, x, sched)
+				}
+			})
+			p.Bytes = r.PeakBytes()
+			res.AddPoint(st.String(), p)
+			if in != nil {
+				if cfg.HotProfile != nil {
+					cfg.HotProfile(fmt.Sprintf("tiered-tmv/%s t=%d", st, th), in.HotspotProfile())
+				}
+				in.Detach()
+			}
+			team.Close()
+		}
+	}
+	return res
+}

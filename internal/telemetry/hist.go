@@ -42,6 +42,11 @@ const (
 	// inspection cost the amortization curve divides away directly
 	// readable from the histogram.
 	PlanCompile
+	// EvictFlush is the latency of flushing one evicted hot-set slot's
+	// partial through the tiered wrapper's inner strategy — the price the
+	// online promotion policy pays to displace a cooled line. Sampled
+	// 1-in-N evictions.
+	EvictFlush
 
 	// NumHKinds sizes histogram shard blocks and snapshots.
 	NumHKinds
@@ -53,6 +58,7 @@ var hkindNames = [NumHKinds]string{
 	KeeperDwell:  "keeper-dwell",
 	FlushLatency: "flush-latency",
 	PlanCompile:  "plan-compile-latency",
+	EvictFlush:   "evict-flush-latency",
 }
 
 // String returns the stable external name of the latency kind.

@@ -95,6 +95,20 @@ const (
 	// from the recorded index pattern (unseen index, changed op stream)
 	// and fell back to record mode for the next region.
 	PlanInvalidations
+	// TieredHotHits counts updates absorbed by the tiered wrapper's
+	// per-thread hot-set replica cache (no inner-strategy work at all).
+	TieredHotHits
+	// TieredColdMisses counts updates that fell through the tiered
+	// wrapper's replica cache to the inner (cold-tail) strategy.
+	TieredColdMisses
+	// TieredPromotions counts cache lines installed into a tiered hot
+	// set — profile-guided seeds at region start plus online promotions
+	// at rebalance points.
+	TieredPromotions
+	// TieredEvictions counts hot-set slots whose accumulated partial was
+	// flushed through the inner strategy because a hotter line displaced
+	// the incumbent (the correctness-preserving demotion path).
+	TieredEvictions
 
 	// NumKinds is the number of counter kinds; it sizes shards and
 	// snapshots.
@@ -122,6 +136,10 @@ var kindNames = [NumKinds]string{
 	PlanHits:          "plan-hits",
 	PlanMisses:        "plan-misses",
 	PlanInvalidations: "plan-invalidations",
+	TieredHotHits:     "tiered-hot-hits",
+	TieredColdMisses:  "tiered-cold-misses",
+	TieredPromotions:  "tiered-promotions",
+	TieredEvictions:   "tiered-evictions",
 }
 
 // String returns the stable external name of the counter kind (used in

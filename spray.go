@@ -136,6 +136,12 @@ func ParallelFor(t *Team, lo, hi int, s Schedule, body func(tid, from, to int)) 
 // no adapter layer between the public API and the implementation.
 func New[T Value](st Strategy, out []T, threads int) Reducer[T] {
 	r := newInner(st, out, threads)
+	if st.tiered {
+		// The hot-set cache sits directly on the base strategy: staged
+		// layers above it (bins, plans) then see the temperature split
+		// through the cache's BinFlusher/BlockSize forwarding.
+		r = core.NewTiered(r, out, core.TieredConfig{})
+	}
 	if st.binned {
 		r = core.NewBinned(r, out, scatter.Config{})
 	}

@@ -36,6 +36,7 @@ const DefaultBlockSize = 1024
 type Strategy struct {
 	kind    kind
 	param   int // block size for block-*, node degree for btree
+	tiered  bool
 	binned  bool
 	planned bool
 }
@@ -132,6 +133,28 @@ func Planned(inner Strategy) Strategy {
 	return inner
 }
 
+// Tiered wraps any base strategy with per-thread hot-set replica caches:
+// the cache lines a thread collides on most accumulate in private
+// direct-mapped storage (no synchronization), everything else falls
+// through to the inner strategy. The hot set is seeded from a previous
+// region's contention profile (SeedFromProfile/SeedHotLines) and adapts
+// online — cold-miss tracking promotes lines at chunk boundaries, with
+// displaced partials flushed through the inner strategy so correctness
+// never depends on the cache. Prints and parses as "hot+<inner>", e.g.
+// "hot+atomic". Worth it when contention is concentrated on a hot set
+// too large to ignore but far smaller than the array (Zipfian/skewed
+// access); a uniform access pattern only pays the tag lookup. Nesting:
+// hot+ applies directly to a base strategy — "binned+hot+atomic" and
+// "plan+hot+atomic" are valid, "hot+binned+..." and "hot+plan+..." are
+// not (the cache belongs below the staging layers, next to the
+// strategy). Like binned+, the wrapper pre-sums same-line contributions
+// in arrival order, so results can differ in the last bits from the
+// element-wise order (exact for integer-valued data).
+func Tiered(inner Strategy) Strategy {
+	inner.tiered = true
+	return inner
+}
+
 func defaultBlock(b int) int {
 	if b <= 0 {
 		return DefaultBlockSize
@@ -151,6 +174,11 @@ func (s Strategy) String() string {
 		base := s
 		base.binned = false
 		return "binned+" + base.String()
+	}
+	if s.tiered {
+		base := s
+		base.tiered = false
+		return "hot+" + base.String()
 	}
 	switch s.kind {
 	case kindBuiltin:
@@ -188,6 +216,13 @@ func (s Strategy) String() string {
 // ParseStrategy parses the String form back into a Strategy. Block sizes
 // and B-tree degrees are optional suffixes: "block-cas" means
 // "block-cas-1024", "btree" uses the default degree.
+//
+// Wrapper prefixes nest in one canonical order — plan+ outermost, then
+// binned+, then hot+, then the base strategy — mirroring the runtime
+// layering (the plan records through the bins, the bins flush through
+// the hot cache, the cache falls through to the strategy). Any other
+// order, and any doubled wrapper, is rejected with an error rather than
+// silently reassociated.
 func ParseStrategy(s string) (Strategy, error) {
 	if rest, ok := strings.CutPrefix(s, "plan+"); ok {
 		inner, err := ParseStrategy(rest)
@@ -204,7 +239,26 @@ func ParseStrategy(s string) (Strategy, error) {
 		if err != nil {
 			return Strategy{}, err
 		}
+		if inner.planned {
+			return Strategy{}, fmt.Errorf("spray: strategy %q nests plan+ inside binned+ — the plan wrapper must be outermost (write %q)", s, "plan+binned+...")
+		}
+		if inner.binned {
+			return Strategy{}, fmt.Errorf("spray: strategy %q stacks the binned wrapper twice", s)
+		}
 		return Binned(inner), nil
+	}
+	if rest, ok := strings.CutPrefix(s, "hot+"); ok {
+		inner, err := ParseStrategy(rest)
+		if err != nil {
+			return Strategy{}, err
+		}
+		if inner.planned || inner.binned {
+			return Strategy{}, fmt.Errorf("spray: strategy %q nests a wrapper inside hot+ — the hot-set cache wraps the base strategy directly (write %q or %q)", s, "binned+hot+...", "plan+hot+...")
+		}
+		if inner.tiered {
+			return Strategy{}, fmt.Errorf("spray: strategy %q stacks the hot wrapper twice", s)
+		}
+		return Tiered(inner), nil
 	}
 	switch s {
 	case "omp-builtin", "builtin", "omp":

@@ -150,7 +150,11 @@ func (in *Instrumentation) HotspotProfile() *HotspotProfile {
 	}
 	p := in.hot.Snapshot()
 	snap := in.rec.Snapshot()
-	p.Updates = snap.Get(telemetry.Updates) + snap.Get(telemetry.BulkElems)
+	// Tiered hot hits never reach the inner strategy's Updates/BulkElems
+	// counters, so they are added back to keep the denominator equal to
+	// the number of logical updates the region performed.
+	p.Updates = snap.Get(telemetry.Updates) + snap.Get(telemetry.BulkElems) +
+		snap.Get(telemetry.TieredHotHits)
 	return p
 }
 
