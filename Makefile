@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: ci build vet lint test race race-telemetry bce-audit bench-smoke overhead-smoke hotspot-accuracy obs-smoke bench-bulk bench-observability bench-gate bench-scatter clean
+.PHONY: ci build vet lint test race race-telemetry bce-audit bench-smoke overhead-smoke hotspot-accuracy obs-smoke bench-bulk bench-observability bench-gate bench-scatter bench-imbalance clean
 
 # ci is the tier-1 gate plus cheap benchmark compile-and-run checks,
 # including the telemetry-off overhead guard, the contention-profiler
 # accuracy check, the live-metrics smoke and the benchmark regression
 # gate.
-ci: vet lint build test race race-telemetry bce-audit bench-smoke overhead-smoke hotspot-accuracy obs-smoke bench-gate bench-scatter
+ci: vet lint build test race race-telemetry bce-audit bench-smoke overhead-smoke hotspot-accuracy obs-smoke bench-gate bench-scatter bench-imbalance
 
 build:
 	$(GO) build ./...
@@ -63,10 +63,11 @@ race:
 # index-space contention profiler (sketches, top-K tables, heatmap
 # exposition), the diagnostics subsystem (Prometheus rendering,
 # flight recorder, anomaly detector, event rings, spraymon digestion),
-# and the tiered hot/cold wrapper (replica caches, online promotion,
-# eviction flushes).
+# the tiered hot/cold wrapper (replica caches, online promotion,
+# eviction flushes), and the work-stealing loop runtime (chunk deques,
+# the stealer protocol, the adaptive grain controller).
 race-telemetry:
-	$(GO) test -race -short -run 'Telemetry|Instrument|Timing|WorkerPanic|Concurrent|Trace|Hist|Sample|Latency|Mailbox|Drain|Binned|Prom|Flight|Anomal|Event|Monitor|Diagnostics|ServeMetrics|CASStorm|ObsOff|Hotspot|Hotline|Heatmap|Tiered|HotSet|Promot' ./internal/telemetry ./internal/par ./internal/core ./internal/memtrack ./internal/scatter ./internal/experiments ./internal/obs ./internal/hotspot .
+	$(GO) test -race -short -run 'Telemetry|Instrument|Timing|WorkerPanic|Concurrent|Trace|Hist|Sample|Latency|Mailbox|Drain|Binned|Prom|Flight|Anomal|Event|Monitor|Diagnostics|ServeMetrics|CASStorm|ObsOff|Hotspot|Hotline|Heatmap|Tiered|HotSet|Promot|Steal|Deque|Grain' ./internal/telemetry ./internal/par ./internal/core ./internal/memtrack ./internal/scatter ./internal/experiments ./internal/obs ./internal/hotspot .
 
 # bench-smoke proves the bulk and tiered benchmarks run end to end
 # without timing anything meaningful (100 iterations per case).
@@ -79,12 +80,14 @@ bench-smoke:
 # (the profiler-enabled keeper accessor must stay within 2% of the
 # detached one, and the disabled paths must not allocate), the
 # zero-steady-state-alloc contract of the off paths (tiered hot/cold
-# routing included), and exercises the off/on conv benchmarks once —
-# the telemetry layer, the profiler and the diagnostics layer (flight
-# recorder + anomaly poller) on top.
+# routing included, plus the steal-schedule counters: a steal loop with
+# telemetry off must not allocate in steady state), and exercises the
+# off/on conv benchmarks once — the telemetry layer, the profiler and
+# the diagnostics layer (flight recorder + anomaly poller) on top.
 overhead-smoke:
 	$(GO) test -run TestTelemetryOffOverhead -count 1 ./internal/core
 	$(GO) test -run 'TestHotspotOffOverhead|TestHotspotOffPathNoAlloc|TestHotspotOnPathNoAllocSteadyState|TestOffPathSamplingGateNoAlloc' -count 1 ./internal/core
+	$(GO) test -run TestStealOffPathNoAlloc -count 1 ./internal/par
 	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverheadConv|BenchmarkObsOffOverheadConv|BenchmarkHotspotOverheadConv' -benchtime 20x .
 
 # hotspot-accuracy proves the sampled count-min/top-K profiler agrees
@@ -153,6 +156,25 @@ bench-scatter:
 	@mkdir -p results
 	$(GO) run ./cmd/spraybulk -n 100000 -max-threads 2 -repeats 3 -min-time 20ms -workload scatter -json results/BENCH_scatter.json
 	$(GO) run ./cmd/benchdiff -gate -sigma 4 -min-rel 0.75 results/bench_baseline.json results/BENCH_scatter.json
+
+# bench-imbalance records the loop-schedule comparison on the
+# imbalanced workloads (front-loaded skew, skewed banded transpose
+# product, mini-LULESH) plus the uniform conv control, gates it for
+# regressions against the shared baseline, then asserts the ranking
+# claims with cmd/schedcheck: steal beats dynamic everywhere, beats
+# guided in geomean across the imbalanced legs, and stays within
+# tolerance of static on the uniform control. results/BENCH_sched.json
+# is a tracked artifact like BENCH_scatter.json. The legs are short
+# regions on an oversubscribed 1-core container, so the regression band
+# is the scatter-class step-change band, and schedcheck's uniform
+# tolerance is wide (see that command's comment for the keeper
+# foreign-parcel artifact forced stealing creates without real
+# parallelism).
+bench-imbalance:
+	@mkdir -p results
+	$(GO) run ./cmd/spraybulk -workload imbalance -n 400000 -threads 2,4 -repeats 3 -min-time 30ms -json results/BENCH_sched.json
+	$(GO) run ./cmd/benchdiff -gate -sigma 4 -min-rel 0.75 results/bench_baseline.json results/BENCH_sched.json
+	$(GO) run ./cmd/schedcheck results/BENCH_sched.json
 
 # clean removes the transient benchmark artifacts (root-level BENCH
 # files are stale copies from before results/ became canonical); the

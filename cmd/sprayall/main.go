@@ -34,6 +34,7 @@ func main() {
 		outdir     = flag.String("outdir", "", "directory for per-figure CSV files")
 		repeats    = flag.Int("repeats", 3, "samples per configuration")
 		minTime    = flag.Duration("min-time", 100*time.Millisecond, "minimum time per sample")
+		schedule   = flag.String("schedule", "", "loop schedule for the conv and tmv figure sweeps (spray.ParseSchedule form, e.g. steal or dynamic:8; default static) — rerun with different values to compare schedules across the bench CSVs")
 		metrics    = flag.Bool("metrics", false, "instrument the conv figures: print a telemetry region report per measured point (stderr) and attach counters to CSV-adjacent data")
 		tracePath  = flag.String("trace", "", "record span timelines for the conv figures and write them as Chrome trace-event JSON to this path")
 		hotPath    = flag.String("hotprofile", "", "attach the index-space contention profiler to the conv, plan, scatter and tiered sweeps and write the sampled hot-line profiles (JSON array) to this path")
@@ -81,8 +82,15 @@ func main() {
 		}
 	}
 
+	var sched spray.Schedule // zero value: static, the paper's setup
+	if *schedule != "" {
+		sched, err = spray.ParseSchedule(*schedule)
+		fatalIf(err)
+	}
+
 	// Figures 11-13: convolution back-propagation.
 	convCfg := experiments.DefaultConvConfig(convN, *maxThreads)
+	convCfg.Schedule = sched
 	convCfg.Runner = runner
 	convCfg.Instrument = *metrics
 	convCfg.OnReport = onReport
@@ -104,6 +112,7 @@ func main() {
 		Threads:    bench.ThreadCounts(*maxThreads),
 		Strategies: experiments.DefaultTMVStrategies(),
 		Runner:     runner, WithMKL: true,
+		Schedule: sched,
 	}), *outdir, "fig14.csv")
 
 	debr := scaleMatrix("debr", tmvScale)
@@ -112,6 +121,7 @@ func main() {
 		Threads:    bench.ThreadCounts(*maxThreads),
 		Strategies: experiments.DefaultTMVStrategies(),
 		Runner:     runner, WithMKL: true,
+		Schedule: sched,
 	}), *outdir, "fig15.csv")
 
 	// Figure 16: LULESH.

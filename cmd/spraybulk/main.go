@@ -61,7 +61,8 @@ func main() {
 		maxThreads = flag.Int("max-threads", 8, "largest thread count in the sweep")
 		threads    = flag.String("threads", "", "explicit comma-separated thread counts (overrides -max-threads)")
 		strategies = flag.String("strategies", "", "comma-separated strategy list (default: dense,atomic,block-cas,keeper)")
-		workload   = flag.String("workload", "all", "workload to run: conv, tmv, scatter, plan, tiered or all")
+		workload   = flag.String("workload", "all", "workload to run: conv, tmv, scatter, plan, tiered, imbalance or all")
+		schedules  = flag.String("schedule", "", "comma-separated loop schedules for the imbalance workload's comparison series (spray.ParseSchedule forms, e.g. static,dynamic:8,guided,steal:4096; default static,dynamic,guided,steal)")
 		planIters  = flag.String("plan-iters", "", "comma-separated applications-per-solve counts for the plan workload (default: 1,2,4,8,16,32)")
 		repeats    = flag.Int("repeats", 3, "samples per configuration")
 		minTime    = flag.Duration("min-time", 100*time.Millisecond, "minimum time per sample")
@@ -129,6 +130,23 @@ func main() {
 		tcfg.Strategies = experiments.DefaultTieredConfig(*n, *maxThreads).Strategies
 	}
 
+	// The imbalance workload compares loop schedules instead of
+	// strategies: -schedule picks its series, -strategies (first entry)
+	// the reduction everything accumulates through.
+	icfg := experiments.DefaultImbalanceConfig(*n/4, *maxThreads)
+	icfg.Runner = cfg.Runner
+	icfg.Threads = cfg.Threads
+	icfg.Telemetry = cfg.Telemetry
+	icfg.OnReport = cfg.OnReport
+	if *strategies != "" {
+		icfg.Strategy = cfg.Strategies[0]
+	}
+	if *schedules != "" {
+		scheds, err := cliutil.ParseSchedules(*schedules)
+		fatalIf(err)
+		icfg.Schedules = scheds
+	}
+
 	// The plan amortization sweep runs at the largest team size with a
 	// banded matrix sized off -n; the strategy set defaults to the
 	// plan-vs-inner comparison unless overridden.
@@ -158,13 +176,23 @@ func main() {
 		results = append(results, experiments.PlanTMV(pcfg))
 	case "tiered":
 		results = append(results, experiments.TieredConv(tcfg), experiments.TieredTMV(tcfg))
+	case "imbalance":
+		lres, err := experiments.ImbalanceLulesh(icfg)
+		fatalIf(err)
+		results = append(results,
+			experiments.ImbalanceSkew(icfg), experiments.ImbalanceTMV(icfg),
+			lres, experiments.ImbalanceConv(icfg))
 	case "all":
+		lres, err := experiments.ImbalanceLulesh(icfg)
+		fatalIf(err)
 		results = append(results, experiments.BulkConv(cfg), experiments.BulkTMV(cfg),
 			experiments.ScatterConv(scfg), experiments.ScatterTMV(scfg),
 			experiments.PlanTMV(pcfg),
-			experiments.TieredConv(tcfg), experiments.TieredTMV(tcfg))
+			experiments.TieredConv(tcfg), experiments.TieredTMV(tcfg),
+			experiments.ImbalanceSkew(icfg), experiments.ImbalanceTMV(icfg),
+			lres, experiments.ImbalanceConv(icfg))
 	default:
-		fatalIf(fmt.Errorf("unknown workload %q (want conv, tmv, scatter, plan, tiered or all)", *workload))
+		fatalIf(fmt.Errorf("unknown workload %q (want conv, tmv, scatter, plan, tiered, imbalance or all)", *workload))
 	}
 	for _, res := range results {
 		res.WriteTable(os.Stdout)

@@ -1,0 +1,65 @@
+package advisor
+
+// Schedule advice: the strategy recommendation (advisor.go, profile.go)
+// picks how updates are made safe; this file picks how the loop's
+// iterations are dealt out. The two are orthogonal — any strategy runs
+// on any schedule — but the telemetry needed to choose a schedule is
+// different: it is the region lifecycle timing (per-member busy time)
+// that exposes load imbalance, not the index-space access pattern.
+
+import (
+	"fmt"
+
+	"spray"
+)
+
+// ImbalanceStealThreshold is the load-imbalance level (max over mean
+// per-member busy time) above which the advisor recommends the
+// work-stealing schedule. 1.0 is perfect balance; the default static
+// schedule typically sits below 1.1 on uniform loops, so 1.25 marks
+// regions where the slowest member carries at least a quarter more work
+// than the average — enough that redistributing chunks pays for the
+// steal runtime's bookkeeping.
+const ImbalanceStealThreshold = 1.25
+
+// ScheduleRecommendation pairs a loop schedule with the reasoning, in
+// the same shape as the strategy Recommendation.
+type ScheduleRecommendation struct {
+	Schedule spray.Schedule
+	Reason   string
+}
+
+// RecommendSchedule inspects an instrumented region's report and
+// recommends a loop schedule: the work-stealing schedule when the
+// per-member busy times show load imbalance beyond
+// ImbalanceStealThreshold (stealing rebalances while preserving the
+// static slices' ownership locality, unlike dynamic/guided which
+// scramble member-to-index affinity), the static default otherwise.
+func RecommendSchedule(rep spray.RegionReport) ScheduleRecommendation {
+	li := rep.LoadImbalance()
+	if rep.Threads <= 1 {
+		return ScheduleRecommendation{
+			Schedule: spray.Static(),
+			Reason:   "single-member team: no balancing to do, static has zero hand-out overhead",
+		}
+	}
+	if li > ImbalanceStealThreshold {
+		return ScheduleRecommendation{
+			Schedule: spray.Steal(0),
+			Reason: fmt.Sprintf("load imbalance %.2f exceeds %.2f: the slowest member carries %.0f%% more than the mean; "+
+				"steal keeps static ownership slices but lets dry members take chunks from the stragglers",
+				li, ImbalanceStealThreshold, (li-1)*100),
+		}
+	}
+	if li > 0 {
+		return ScheduleRecommendation{
+			Schedule: spray.Static(),
+			Reason: fmt.Sprintf("load imbalance %.2f is within %.2f: static's zero hand-out overhead and "+
+				"contiguous per-member slices win on balanced loops", li, ImbalanceStealThreshold),
+		}
+	}
+	return ScheduleRecommendation{
+		Schedule: spray.Static(),
+		Reason:   "no busy-time telemetry recorded: defaulting to static; instrument the team (spray.Instrument) to measure imbalance",
+	}
+}

@@ -1,0 +1,91 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"spray"
+)
+
+// report builds a hand-made RegionReport with the given per-member busy
+// times — the only signal RecommendSchedule reads besides the team size.
+func report(threads int, busy ...time.Duration) spray.RegionReport {
+	return spray.RegionReport{Threads: threads, Busy: busy}
+}
+
+// TestRecommendScheduleSingleThread pins the degenerate team: nothing to
+// balance, static wins regardless of how lopsided the numbers look.
+func TestRecommendScheduleSingleThread(t *testing.T) {
+	rec := RecommendSchedule(report(1, 100*time.Millisecond))
+	if rec.Schedule != spray.Static() {
+		t.Fatalf("single thread recommended %v, want static", rec.Schedule)
+	}
+	if !strings.Contains(rec.Reason, "single-member") {
+		t.Errorf("reason %q does not explain the single-member case", rec.Reason)
+	}
+}
+
+// TestRecommendScheduleBalanced pins the uniform case: imbalance near
+// 1.0 stays on static.
+func TestRecommendScheduleBalanced(t *testing.T) {
+	rec := RecommendSchedule(report(4,
+		100*time.Millisecond, 101*time.Millisecond, 99*time.Millisecond, 100*time.Millisecond))
+	if rec.Schedule != spray.Static() {
+		t.Fatalf("balanced team recommended %v, want static", rec.Schedule)
+	}
+	if !strings.Contains(rec.Reason, "within") {
+		t.Errorf("reason %q does not cite the threshold comparison", rec.Reason)
+	}
+}
+
+// TestRecommendScheduleImbalanced pins the straggler case: one member at
+// 2x the mean crosses ImbalanceStealThreshold and flips to steal.
+func TestRecommendScheduleImbalanced(t *testing.T) {
+	rep := report(4,
+		400*time.Millisecond, 100*time.Millisecond, 100*time.Millisecond, 100*time.Millisecond)
+	if li := rep.LoadImbalance(); li <= ImbalanceStealThreshold {
+		t.Fatalf("test fixture imbalance %.2f not above threshold %.2f", li, ImbalanceStealThreshold)
+	}
+	rec := RecommendSchedule(rep)
+	if rec.Schedule != spray.Steal(0) {
+		t.Fatalf("straggler team recommended %v, want steal", rec.Schedule)
+	}
+	if !strings.Contains(rec.Reason, "steal") {
+		t.Errorf("reason %q does not explain the steal recommendation", rec.Reason)
+	}
+}
+
+// TestRecommendScheduleThresholdBoundary pins the knife edge: exactly at
+// the threshold stays static (the comparison is strict), just above
+// flips.
+func TestRecommendScheduleThresholdBoundary(t *testing.T) {
+	// Three members: one at exactly threshold x mean requires
+	// max = T * (max + 2b) / 3 => max = 2bT / (3 - T). With b = 100ms
+	// and T = 1.25, max = 250/1.75 ms x ... easier to construct directly:
+	// busy times (5, 3, 4) have mean 4 and max 5 => imbalance 1.25 exactly.
+	at := report(3, 5*time.Second, 3*time.Second, 4*time.Second)
+	if li := at.LoadImbalance(); li != ImbalanceStealThreshold {
+		t.Fatalf("fixture imbalance %.4f, want exactly %.2f", li, ImbalanceStealThreshold)
+	}
+	if rec := RecommendSchedule(at); rec.Schedule != spray.Static() {
+		t.Errorf("exactly-at-threshold recommended %v, want static (strict comparison)", rec.Schedule)
+	}
+	above := report(3, 5100*time.Millisecond, 3*time.Second, 4*time.Second)
+	if rec := RecommendSchedule(above); rec.Schedule != spray.Steal(0) {
+		t.Errorf("just-above-threshold recommended %v, want steal", rec.Schedule)
+	}
+}
+
+// TestRecommendScheduleNoTelemetry pins the uninstrumented report: no
+// busy times means no evidence, and the recommendation must say so
+// rather than invent balance.
+func TestRecommendScheduleNoTelemetry(t *testing.T) {
+	rec := RecommendSchedule(report(4))
+	if rec.Schedule != spray.Static() {
+		t.Fatalf("no-telemetry report recommended %v, want static", rec.Schedule)
+	}
+	if !strings.Contains(rec.Reason, "no busy-time telemetry") {
+		t.Errorf("reason %q does not flag the missing telemetry", rec.Reason)
+	}
+}

@@ -282,6 +282,9 @@ func trimFloat(x float64) string {
 	return s
 }
 
+// FormatSeconds renders a duration in seconds with a human unit.
+func FormatSeconds(s float64) string { return fmtSeconds(s) }
+
 func fmtSeconds(s float64) string {
 	switch {
 	case s <= 0:

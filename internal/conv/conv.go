@@ -63,8 +63,16 @@ const backpropTile = 1024
 // the same reassociation any vectorizing compiler applies to the Figure 9
 // loop.
 func (w Weights3[T]) RunBackprop(team *spray.Team, r spray.Reducer[T], seed []T) {
+	w.RunBackpropSched(team, r, seed, spray.Static())
+}
+
+// RunBackpropSched is RunBackprop with the loop schedule exposed — the
+// stencil sweep is uniform-cost, so it doubles as the balanced-workload
+// leg of schedule comparisons (static should win; steal must stay within
+// noise of it).
+func (w Weights3[T]) RunBackpropSched(team *spray.Team, r spray.Reducer[T], seed []T, sched spray.Schedule) {
 	n := len(seed)
-	spray.RunReduction(team, r, 1, n-1, spray.Static(),
+	spray.RunReduction(team, r, 1, n-1, sched,
 		func(acc spray.Accessor[T], from, to int) {
 			bacc := spray.Bulk(acc)
 			var vl, vc, vr [backpropTile]T

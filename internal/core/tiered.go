@@ -102,9 +102,15 @@ const (
 	defaultRebalanceEvery = 4096
 	defaultPromoteMin     = 32
 	// tieredColdSample decimates the element-wise cold path's recording
-	// into the online tracker: every tieredColdSample-th cold Add records
-	// once with full weight, keeping the expectation unbiased (bulk paths
-	// record per batch instead, which is already cheap).
+	// into the online tracker: one cold Add per tieredColdSample records,
+	// on average, with full weight, keeping the expectation unbiased
+	// (bulk paths record per batch instead, which is already cheap). The
+	// gap between samples is drawn uniformly from [1, 2*tieredColdSample)
+	// by a per-thread xorshift rather than counted deterministically: a
+	// fixed every-Nth stride phase-locks against periodic update
+	// patterns (e.g. a body alternating hot and uniform indices never
+	// gets its hot index sampled when the stride is even), which starves
+	// the tracker of exactly the lines promotion exists to find.
 	tieredColdSample = 8
 	// tieredTrackPeriod is the online tracker's own per-call decimation;
 	// stacked with tieredColdSample the element-wise sketch work runs
@@ -134,7 +140,8 @@ type tieredPrivate[T num.Float] struct {
 	buf   []T      // slots x lineElems accumulation storage
 
 	trk       *hotspot.Shard // own online tracker shard (always attached)
-	coldTick  uint32         // element-wise tracker decimation counter
+	coldTick  uint32         // cold Adds left until the next tracker sample
+	coldRng   uint64         // xorshift state for randomized sample gaps
 	coldSince int            // cold misses since the last rebalance
 	rebalance int
 	promote   uint64
@@ -289,6 +296,10 @@ func (tr *Tiered[T]) Private(tid int) Private[T] {
 		p.masks = make([]uint16, tr.slots)
 		p.buf = make([]T, tr.slots*tr.lineElems)
 		p.cand = make([]hotspot.LineCount, hotspot.DefaultTopK)
+		// Non-zero per-thread seed; threads de-correlate so their sample
+		// points don't line up even on identical streams.
+		p.coldRng = uint64(tid)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+		p.coldTick = p.nextSampleGap()
 		p.fidx = make([]int32, tr.lineElems)
 		p.fval = make([]T, tr.lineElems)
 		p.cidx = make([]int32, tieredColdBatch)
@@ -379,15 +390,28 @@ func (p *tieredPrivate[T]) coldAdd(i int, v T) {
 	p.tel.Inc(telemetry.TieredColdMisses)
 	p.inner.Add(i, v)
 	p.coldSince++
-	p.coldTick++
-	if p.coldTick >= tieredColdSample {
-		p.coldTick = 0
-		p.trk.RecordW(hotspot.TieredCold, i, tieredColdSample)
-		p.hot.RecordW(hotspot.TieredCold, i, tieredColdSample)
-		if p.coldSince >= p.rebalance {
-			p.rebalanceNow()
-		}
+	if p.coldTick > 0 {
+		p.coldTick--
+		return
 	}
+	p.coldTick = p.nextSampleGap()
+	p.trk.RecordW(hotspot.TieredCold, i, tieredColdSample)
+	p.hot.RecordW(hotspot.TieredCold, i, tieredColdSample)
+	if p.coldSince >= p.rebalance {
+		p.rebalanceNow()
+	}
+}
+
+// nextSampleGap draws the number of cold Adds to skip before the next
+// tracker sample: uniform on [0, 2*tieredColdSample-1), so the
+// inter-sample interval is uniform on [1, 2*tieredColdSample) with mean
+// tieredColdSample — the documented sampling rate, free of phase lock
+// with periodic bodies (see the tieredColdSample comment).
+func (p *tieredPrivate[T]) nextSampleGap() uint32 {
+	p.coldRng ^= p.coldRng << 13
+	p.coldRng ^= p.coldRng >> 7
+	p.coldRng ^= p.coldRng << 17
+	return uint32(p.coldRng % (2*tieredColdSample - 1))
 }
 
 // AddN splits a contiguous run at line granularity: hot lines accumulate

@@ -23,6 +23,11 @@ type ConvConfig struct {
 	Strategies []spray.Strategy
 	Runner     bench.Runner
 
+	// Schedule selects the loop schedule the back-propagation sweep runs
+	// under (zero value: static, the paper's setup). Schedule sweeps use
+	// this to rerun the figure per schedule without recompiling.
+	Schedule spray.Schedule
+
 	// Instrument attaches telemetry to every (strategy, threads) run:
 	// each measured point carries the strategy counters accumulated while
 	// it was timed, and OnReport (when set) receives the full
@@ -119,7 +124,7 @@ func Fig11(cfg ConvConfig) *bench.Result {
 			}
 			summary := cfg.Runner.AutoBench(func(iters int) {
 				for i := 0; i < iters; i++ {
-					convWeights.RunBackprop(team, r, seed)
+					convWeights.RunBackpropSched(team, r, seed, cfg.Schedule)
 				}
 			})
 			p := bench.Point{X: float64(th), Time: summary, Bytes: r.PeakBytes()}

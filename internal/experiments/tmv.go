@@ -19,6 +19,10 @@ type TMVConfig struct {
 	Strategies []spray.Strategy
 	Runner     bench.Runner
 	WithMKL    bool
+
+	// Schedule selects the loop schedule the row sweep runs under (zero
+	// value: static). The MKL baselines ignore it — they own their loops.
+	Schedule spray.Schedule
 }
 
 // DefaultTMVStrategies is the strategy set the figures plot.
@@ -77,7 +81,7 @@ func TMV(cfg TMVConfig) *bench.Result {
 			r := spray.New(st, y, th)
 			summary := cfg.Runner.AutoBench(func(iters int) {
 				for i := 0; i < iters; i++ {
-					sparse.RunTMulVec(team, r, a, x)
+					sparse.RunTMulVecSched(team, r, a, x, cfg.Schedule)
 				}
 			})
 			res.AddPoint(st.String(), bench.Point{X: float64(th), Time: summary, Bytes: r.PeakBytes()})

@@ -92,14 +92,22 @@ func (s *originalScheme) scatter(d *Domain, t *par.Team, calc elemForceFunc) {
 // becomes a one-line choice.
 type sprayScheme struct {
 	st         spray.Strategy
+	sched      spray.Schedule
 	rx, ry, rz spray.Reducer[float64]
 	bound      *Domain
 	threads    int
 }
 
 // Spray returns a force scheme that accumulates through the given SPRAY
-// strategy.
-func Spray(st spray.Strategy) ForceScheme { return &sprayScheme{st: st} }
+// strategy on the static loop schedule.
+func Spray(st spray.Strategy) ForceScheme { return SpraySched(st, spray.Static()) }
+
+// SpraySched is Spray with the element-loop schedule exposed. Element
+// force costs vary with mesh distortion, so the scatter loop is the
+// imbalance-sensitive leg of schedule comparisons.
+func SpraySched(st spray.Strategy, sched spray.Schedule) ForceScheme {
+	return &sprayScheme{st: st, sched: sched}
+}
 
 func (s *sprayScheme) Name() string { return "spray-" + s.st.String() }
 
@@ -119,7 +127,7 @@ func (s *sprayScheme) scatter(d *Domain, t *par.Team, calc elemForceFunc) {
 		s.threads = t.Size()
 	}
 	m := d.Mesh
-	c := par.NewChunker(par.Static(), 0, m.NumElem, t.Size())
+	c := par.NewChunker(s.sched, 0, m.NumElem, t.Size())
 	t.Run(func(tid int) {
 		ax := s.rx.Private(tid)
 		ay := s.ry.Private(tid)

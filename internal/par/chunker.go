@@ -15,9 +15,19 @@ type Chunker struct {
 	s         Schedule
 	lo, hi    int
 	n         int
-	tracer    *telemetry.Tracer // nil = chunk spans off
-	chunkDone func(tid int)     // nil = no chunk-boundary hook
-	next      atomic.Int64      // shared cursor for dynamic/guided
+	tracer    *telemetry.Tracer   // nil = chunk spans off
+	rec       *telemetry.Recorder // nil = runtime counters off
+	chunkDone func(tid int)       // nil = no chunk-boundary hook
+	st        *stealer            // steal-schedule runtime; nil otherwise
+
+	// The shared claim cursor sits on its own cache line: dynamic and
+	// guided hammer it with atomic read-modify-writes from every member,
+	// and without the padding those writes would keep invalidating the
+	// line carrying the read-only bounds/schedule fields that every chunk
+	// hand-out loads (see BenchmarkChunkerCursor* for the before/after).
+	_    [64]byte
+	next atomic.Int64 // shared cursor for dynamic/guided
+	_    [56]byte
 }
 
 // NewChunker prepares chunk hand-out for the range [lo, hi) on a team of
@@ -26,6 +36,9 @@ func NewChunker(s Schedule, lo, hi, teamSize int) *Chunker {
 	s.validate()
 	c := &Chunker{s: s, lo: lo, hi: hi, n: teamSize}
 	c.next.Store(int64(lo))
+	if s.Kind == KindSteal && hi > lo {
+		c.st = newStealer(lo, hi, teamSize, s.Chunk)
+	}
 	return c
 }
 
@@ -33,6 +46,13 @@ func NewChunker(s Schedule, lo, hi, teamSize int) *Chunker {
 // bracketed as a chunk span (args: from, to) on the receiving member's
 // timeline. Attach before the loop starts.
 func (c *Chunker) SetTracer(tr *telemetry.Tracer) { c.tracer = tr }
+
+// SetRecorder attaches a telemetry recorder for the runtime's own
+// counters — the steal schedule's steals, failed probes, stolen
+// iterations, grain splits/coalesces and per-member chunk counts. A nil
+// recorder (the default) keeps the hand-out paths on the nil-shard fast
+// path. Attach before the loop starts.
+func (c *Chunker) SetRecorder(rec *telemetry.Recorder) { c.rec = rec }
 
 // SetChunkDone attaches a chunk-boundary hook: after each chunk body
 // returns, fn(tid) runs on the member's own goroutine, before the next
@@ -64,6 +84,8 @@ func (c *Chunker) For(tid int, body func(from, to int)) {
 		}
 	}
 	switch c.s.Kind {
+	case KindSteal:
+		c.st.run(tid, c.rec.Shard(tid), body)
 	case KindStatic:
 		from, to := StaticRange(c.lo, c.hi, tid, c.n)
 		if from < to {

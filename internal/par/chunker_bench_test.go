@@ -1,0 +1,106 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Microbenchmark for the Chunker false-sharing fix: before the padding,
+// the dynamic schedule's shared claim cursor lived on the same cache
+// line as the read-only lo/hi/chunk fields, so every member's atomic
+// claim invalidated the line every other member must read to test its
+// chunk against the loop bound. sharedCursor preserves that old layout
+// as the baseline; paddedCursor mirrors the Chunker's current layout.
+// Run both to see the before/after:
+//
+//	go test -run '^$' -bench BenchmarkChunkerCursor ./internal/par
+
+// sharedCursor is the pre-fix layout: cursor and bounds on one line.
+type sharedCursor struct {
+	lo, hi int64
+	next   atomic.Int64
+}
+
+func (c *sharedCursor) reset()         { c.next.Store(c.lo) }
+func (c *sharedCursor) hiBound() int64 { return c.hi }
+func (c *sharedCursor) claim(ch int64) (int64, bool) {
+	start := c.next.Add(ch) - ch
+	return start, start < c.hi
+}
+
+// paddedCursor is the fixed layout: the cursor owns its cache line.
+type paddedCursor struct {
+	lo, hi int64
+	_      [64]byte
+	next   atomic.Int64
+	_      [56]byte
+}
+
+func (c *paddedCursor) reset()         { c.next.Store(c.lo) }
+func (c *paddedCursor) hiBound() int64 { return c.hi }
+func (c *paddedCursor) claim(ch int64) (int64, bool) {
+	start := c.next.Add(ch) - ch
+	return start, start < c.hi
+}
+
+type claimCursor interface {
+	reset()
+	hiBound() int64
+	claim(ch int64) (int64, bool)
+}
+
+// benchCursor drains a dynamic-style claim loop (chunk 8 over 1<<14
+// iterations) on a team of n, counting one loop drain per op. The loop
+// body replicates what Chunker.For's dynamic path does per chunk: one
+// atomic claim plus bound reads from the same struct.
+func benchCursor(b *testing.B, n int, c claimCursor) {
+	team := NewTeam(n)
+	defer team.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.reset()
+		team.Run(func(tid int) {
+			var sink int64
+			for {
+				start, ok := c.claim(8)
+				if !ok {
+					break
+				}
+				end := start + 8
+				if hi := c.hiBound(); end > hi {
+					end = hi
+				}
+				sink += end - start
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkChunkerCursorShared4(b *testing.B) {
+	benchCursor(b, 4, &sharedCursor{lo: 0, hi: 1 << 14})
+}
+
+func BenchmarkChunkerCursorPadded4(b *testing.B) {
+	benchCursor(b, 4, &paddedCursor{lo: 0, hi: 1 << 14})
+}
+
+// BenchmarkStealSchedule exercises the steal runtime end to end on a
+// balanced empty-body loop — the pure hand-out overhead comparison
+// against the shared-cursor schedules at the same team size.
+func benchSchedule(b *testing.B, s Schedule) {
+	team := NewTeam(4)
+	defer team.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var sink atomic.Int64
+		ParallelFor(team, 0, 1<<14, s, func(tid, from, to int) {
+			sink.Add(int64(to - from))
+		})
+	}
+}
+
+func BenchmarkScheduleDynamic4(b *testing.B) { benchSchedule(b, Dynamic(8)) }
+func BenchmarkScheduleGuided4(b *testing.B)  { benchSchedule(b, Guided(8)) }
+func BenchmarkScheduleSteal4(b *testing.B)   { benchSchedule(b, Steal(8)) }
+func BenchmarkScheduleStatic4(b *testing.B)  { benchSchedule(b, Static()) }

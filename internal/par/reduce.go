@@ -15,6 +15,7 @@ func ScalarReduce[V any](t *Team, lo, hi int, s Schedule, init V,
 	n := t.Size()
 	partial := make([]V, n)
 	c := NewChunker(s, lo, hi, n)
+	c.SetRecorder(t.Recorder())
 	t.Run(func(tid int) {
 		acc := init
 		c.For(tid, func(from, to int) {

@@ -1,6 +1,10 @@
 package par
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Kind enumerates the OpenMP loop schedules the runtime implements.
 type Kind int
@@ -19,6 +23,13 @@ const (
 	// KindGuided hands out shrinking chunks proportional to the
 	// remaining work ("schedule(guided, c)").
 	KindGuided
+	// KindSteal runs the work-stealing runtime (stealer.go): members are
+	// seeded with their static slices on per-member lock-free chunk
+	// deques, pop locally LIFO, and steal FIFO from the nearest victim
+	// when dry, with adaptive grain splitting/coalescing. The OpenMP
+	// analogue is "schedule(runtime)" bound to a tasking-style
+	// work-stealing loop scheduler.
+	KindSteal
 )
 
 func (k Kind) String() string {
@@ -31,6 +42,8 @@ func (k Kind) String() string {
 		return "dynamic"
 	case KindGuided:
 		return "guided"
+	case KindSteal:
+		return "steal"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -67,6 +80,16 @@ func Guided(c int) Schedule {
 	return Schedule{Kind: KindGuided, Chunk: c}
 }
 
+// Steal returns the work-stealing schedule; grain is the minimum chunk
+// size the adaptive grain controller splits down to. grain <= 0 selects
+// an automatic grain sized off the loop range and team size.
+func Steal(grain int) Schedule {
+	if grain < 0 {
+		grain = 0
+	}
+	return Schedule{Kind: KindSteal, Chunk: grain}
+}
+
 func (s Schedule) String() string {
 	if s.Chunk > 0 {
 		return fmt.Sprintf("%s(%d)", s.Kind, s.Chunk)
@@ -83,6 +106,51 @@ func (s Schedule) validate() {
 	if (s.Kind == KindDynamic || s.Kind == KindGuided) && s.Chunk < 1 {
 		panic("par: dynamic/guided schedule requires a positive chunk size")
 	}
+	if s.Kind == KindSteal && s.Chunk < 0 {
+		panic("par: steal schedule grain must be >= 0 (0 = automatic)")
+	}
+}
+
+// ParseSchedule parses the string forms of a schedule: a kind name
+// ("static", "static-chunk", "dynamic", "guided", "steal") optionally
+// followed by a chunk/grain as ":<n>" or "(<n>)" — the latter matching
+// Schedule.String output. "static:<n>" with n > 0 selects the
+// round-robin static-chunk schedule, mirroring OpenMP's
+// "schedule(static, n)".
+func ParseSchedule(text string) (Schedule, error) {
+	name, chunkStr := text, ""
+	if i := strings.IndexByte(text, ':'); i >= 0 {
+		name, chunkStr = text[:i], text[i+1:]
+	} else if i := strings.IndexByte(text, '('); i >= 0 && strings.HasSuffix(text, ")") {
+		name, chunkStr = text[:i], text[i+1:len(text)-1]
+	}
+	chunk := 0
+	if chunkStr != "" {
+		c, err := strconv.Atoi(strings.TrimSpace(chunkStr))
+		if err != nil || c < 1 {
+			return Schedule{}, fmt.Errorf("par: bad chunk %q in schedule %q (want a positive integer)", chunkStr, text)
+		}
+		chunk = c
+	}
+	switch strings.TrimSpace(name) {
+	case "static":
+		if chunk > 0 {
+			return StaticChunk(chunk), nil
+		}
+		return Static(), nil
+	case "static-chunk":
+		if chunk < 1 {
+			return Schedule{}, fmt.Errorf("par: schedule %q requires a chunk size (e.g. \"static-chunk:64\")", text)
+		}
+		return StaticChunk(chunk), nil
+	case "dynamic":
+		return Dynamic(chunk), nil
+	case "guided":
+		return Guided(chunk), nil
+	case "steal":
+		return Steal(chunk), nil
+	}
+	return Schedule{}, fmt.Errorf("par: unknown schedule %q (want static, static-chunk, dynamic, guided or steal, optionally with \":<chunk>\")", text)
 }
 
 // ParallelFor executes the half-open iteration range [lo, hi) on the team
@@ -96,6 +164,7 @@ func ParallelFor(t *Team, lo, hi int, s Schedule, body func(tid, from, to int)) 
 	}
 	c := NewChunker(s, lo, hi, t.size)
 	c.SetTracer(t.Tracer())
+	c.SetRecorder(t.Recorder())
 	t.Run(func(tid int) {
 		c.For(tid, func(from, to int) { body(tid, from, to) })
 	})

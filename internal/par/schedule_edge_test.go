@@ -13,6 +13,8 @@ func allSchedules(chunk int) []Schedule {
 		StaticChunk(chunk),
 		Dynamic(chunk),
 		Guided(chunk),
+		Steal(0),
+		Steal(chunk),
 	}
 }
 
@@ -87,7 +89,7 @@ func TestScheduleSingleElement(t *testing.T) {
 func TestScheduleChunkLargerThanRange(t *testing.T) {
 	team := NewTeam(4)
 	defer team.Close()
-	for _, s := range []Schedule{StaticChunk(100), Dynamic(100), Guided(100)} {
+	for _, s := range []Schedule{StaticChunk(100), Dynamic(100), Guided(100), Steal(100)} {
 		for _, r := range [][2]int{{0, 5}, {-7, 0}, {3, 4}} {
 			chunkCoverage(t, team, r[0], r[1], s)
 		}

@@ -33,9 +33,10 @@ type Team struct {
 	done    sync.WaitGroup
 	barrier *Barrier
 	closed  bool
-	timing  *Timing           // nil = lifecycle timing off (the default)
-	tracer  *telemetry.Tracer // nil = span tracing off (the default)
-	regions int64             // regions dispatched; numbers trace spans
+	timing  *Timing             // nil = lifecycle timing off (the default)
+	tracer  *telemetry.Tracer   // nil = span tracing off (the default)
+	rec     *telemetry.Recorder // nil = runtime counters off (the default)
+	regions int64               // regions dispatched; numbers trace spans
 
 	panicMu  sync.Mutex
 	panicVal any // first panic raised by a worker during the current region
@@ -177,6 +178,24 @@ func (t *Team) SetTracer(tr *telemetry.Tracer) {
 
 // Tracer returns the attached span tracer, or nil when tracing is off.
 func (t *Team) Tracer() *telemetry.Tracer { return t.tracer }
+
+// SetRecorder attaches (or, with nil, detaches) a telemetry recorder for
+// the loop runtime's own counters: chunkers built against this team
+// (ParallelFor, ScalarReduce, the reduction drivers) report steal-
+// schedule activity — steals, failed probes, stolen iterations, grain
+// splits/coalesces, per-member chunks — into its per-thread shards. rec
+// must have at least as many shards as the team has members. Not safe to
+// call while a region is running.
+func (t *Team) SetRecorder(rec *telemetry.Recorder) {
+	if rec != nil && rec.Threads() < t.size {
+		panic(fmt.Sprintf("par: recorder built for %d threads attached to a team of %d", rec.Threads(), t.size))
+	}
+	t.rec = rec
+}
+
+// Recorder returns the attached runtime-counter recorder, or nil when
+// runtime counters are off.
+func (t *Team) Recorder() *telemetry.Recorder { return t.rec }
 
 // Run executes fn once per team member, concurrently, and returns when all
 // members have finished — the analogue of an OpenMP parallel region. The

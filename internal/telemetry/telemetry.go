@@ -109,6 +109,28 @@ const (
 	// flushed through the inner strategy because a hotter line displaced
 	// the incumbent (the correctness-preserving demotion path).
 	TieredEvictions
+	// Steals counts successful work-steal acquisitions under the steal
+	// schedule: chunks a dry member took FIFO from a victim's deque.
+	Steals
+	// StealFails counts steal probes that came back empty — the victim's
+	// deque was empty or the top CAS lost to a competing thief.
+	StealFails
+	// StealIters counts loop iterations transferred by successful steals
+	// (the runtime's unit of stolen work; multiply by the element size of
+	// the workload for bytes).
+	StealIters
+	// GrainSplits counts oversized chunks the adaptive grain controller
+	// split after a steal: the far half goes back on the thief's deque
+	// (stealable again), the near half executes immediately.
+	GrainSplits
+	// GrainCoalesces counts adjacent chunks the grain controller merged
+	// on the owner's pop path while the deque's steal rate was zero —
+	// each merged pair counts one.
+	GrainCoalesces
+	// ChunksExecuted counts loop chunks executed under the steal
+	// schedule; read per thread (Recorder.PerThread) it is the chunk-level
+	// load-balance picture of the region.
+	ChunksExecuted
 
 	// NumKinds is the number of counter kinds; it sizes shards and
 	// snapshots.
@@ -140,6 +162,12 @@ var kindNames = [NumKinds]string{
 	TieredColdMisses:  "tiered-cold-misses",
 	TieredPromotions:  "tiered-promotions",
 	TieredEvictions:   "tiered-evictions",
+	Steals:            "steals",
+	StealFails:        "steal-fails",
+	StealIters:        "steal-iters",
+	GrainSplits:       "grain-splits",
+	GrainCoalesces:    "grain-coalesces",
+	ChunksExecuted:    "chunks-executed",
 }
 
 // String returns the stable external name of the counter kind (used in

@@ -123,6 +123,17 @@ func Dynamic(c int) Schedule { return par.Dynamic(c) }
 // Guided returns a shrinking-chunk schedule with the given minimum chunk.
 func Guided(c int) Schedule { return par.Guided(c) }
 
+// Steal returns the work-stealing schedule: members start on their
+// static slices (preserving keeper/tiered ownership locality) and steal
+// chunks from the nearest busy member when they run dry, with adaptive
+// grain sizing. grain <= 0 selects an automatic minimum grain.
+func Steal(grain int) Schedule { return par.Steal(grain) }
+
+// ParseSchedule parses a schedule from its string form — "static",
+// "static:64", "dynamic:8", "guided", "steal:4096", ... — for CLI flags
+// and config files.
+func ParseSchedule(s string) (Schedule, error) { return par.ParseSchedule(s) }
+
 // ParallelFor executes [lo, hi) on the team under the schedule, invoking
 // body once per assigned chunk — a plain parallel loop with no reduction.
 func ParallelFor(t *Team, lo, hi int, s Schedule, body func(tid, from, to int)) {
@@ -195,6 +206,7 @@ func RunReduction[T Value](t *Team, r Reducer[T], lo, hi int, s Schedule, body f
 	}
 	c := par.NewChunker(s, lo, hi, t.Size())
 	c.SetTracer(t.Tracer())
+	c.SetRecorder(t.Recorder())
 	if d, ok := r.(core.MidRegionDrainer); ok {
 		// Cooperative mid-region drain: publication on, and each member
 		// applies its inbound work at its chunk boundaries instead of

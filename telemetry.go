@@ -54,6 +54,13 @@ func Instrument[T Value](t *Team, r Reducer[T]) *Instrumentation {
 		ir.Instrument(in.rec)
 		in.detach = func() { ir.Instrument(nil) }
 	}
+	if t.Recorder() == nil {
+		// The loop runtime shares the reducer's recorder: steal-schedule
+		// counters (steals, grain splits, per-member chunks) land in the
+		// same shards and the same report as the strategy's own events.
+		t.SetRecorder(in.rec)
+		in.ownsTeamRec = true
+	}
 	if tm := t.Timing(); tm != nil {
 		in.tm = tm
 	} else {
@@ -85,19 +92,20 @@ func Instrument[T Value](t *Team, r Reducer[T]) *Instrumentation {
 // reducer's counter recorder and the team's timing accumulator for the
 // duration of the attachment.
 type Instrumentation struct {
-	rec        *telemetry.Recorder
-	tm         *par.Timing
-	team       *Team
-	strategy   string
-	bytes      func() int64
-	peak       func() int64
-	detach     func()
-	provID     uint64
-	ownsTiming bool
-	tracer     *telemetry.Tracer
-	ownsTracer bool
-	lineElems  int
-	hot        *hotspot.Profiler
+	rec         *telemetry.Recorder
+	tm          *par.Timing
+	team        *Team
+	strategy    string
+	bytes       func() int64
+	peak        func() int64
+	detach      func()
+	provID      uint64
+	ownsTiming  bool
+	ownsTeamRec bool
+	tracer      *telemetry.Tracer
+	ownsTracer  bool
+	lineElems   int
+	hot         *hotspot.Profiler
 }
 
 // HotspotOptions re-exports the contention profiler's configuration;
@@ -220,6 +228,7 @@ func (in *Instrumentation) Report() RegionReport {
 		Bytes:       in.bytes(),
 		PeakBytes:   in.peak(),
 		Counters:    counters,
+		PerThread:   in.rec.PerThread(),
 		Latencies:   in.rec.Hists(),
 	}
 }
@@ -255,6 +264,9 @@ func (in *Instrumentation) Detach() {
 	obs.UnregisterProvider(in.provID)
 	if in.ownsTiming && in.team.Timing() == in.tm {
 		in.team.SetTiming(nil)
+	}
+	if in.ownsTeamRec && in.team.Recorder() == in.rec {
+		in.team.SetRecorder(nil)
 	}
 	if in.ownsTracer && in.team.Tracer() == in.tracer {
 		in.team.SetTracer(nil)
@@ -300,6 +312,10 @@ type RegionReport struct {
 	Bytes       int64           // reducer's current extra memory
 	PeakBytes   int64           // reducer's peak extra memory
 	Counters    telemetry.Snapshot
+	// PerThread holds one counter snapshot per team member (nil when the
+	// report was built by hand); the work-stealing imbalance rows derive
+	// from its per-member chunks-executed and steal counts.
+	PerThread []telemetry.Snapshot
 	// Latencies holds one merged log-bucketed histogram per latency kind
 	// (cas-latency, claim-latency, keeper-dwell); kinds the strategy never
 	// fed have Count == 0.
@@ -310,6 +326,26 @@ type RegionReport struct {
 // perfectly balanced team; 0 when no busy time was recorded.
 func (r RegionReport) LoadImbalance() float64 {
 	return par.RegionStats{Busy: r.Busy}.LoadImbalance()
+}
+
+// ChunkImbalance returns max over mean per-member executed chunks under
+// the steal schedule — 1.0 means every member ran the same number of
+// chunks; 0 when no steal-schedule chunks were recorded (other
+// schedules, or no per-thread data).
+func (r RegionReport) ChunkImbalance() float64 {
+	var total, max uint64
+	for _, s := range r.PerThread {
+		c := s.Get(telemetry.ChunksExecuted)
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(r.PerThread))
+	return float64(max) / mean
 }
 
 // CounterMap returns the non-zero strategy counters keyed by name.
@@ -329,6 +365,17 @@ func (r RegionReport) WriteTable(w io.Writer) {
 	}
 	row("bytes", r.Bytes)
 	row("peak-bytes", r.PeakBytes)
+	if ci := r.ChunkImbalance(); ci > 0 {
+		var b strings.Builder
+		for i, s := range r.PerThread {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", s.Get(telemetry.ChunksExecuted))
+		}
+		row("chunks/member", b.String())
+		row("chunk-imbalance", fmt.Sprintf("%.2f", ci))
+	}
 	for k := telemetry.Kind(0); k < telemetry.NumKinds; k++ {
 		if v := r.Counters.Get(k); v != 0 {
 			row(k.String(), v)
